@@ -1,0 +1,87 @@
+// Command islandsadvisor recommends an island size (number of database
+// instances) for a workload on a machine — the paper's stated future work:
+// "determining the ideal size of each island automatically for the given
+// hardware and workload".
+//
+// Usage:
+//
+//	islandsadvisor -machine quad -rows 240000 -rowstxn 10 -write \
+//	               -multisite 0.2 -skew 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"islands"
+)
+
+func main() {
+	machine := flag.String("machine", "quad", "machine model: quad or octo")
+	rows := flag.Int64("rows", 240000, "global rows in the dataset")
+	rowsTxn := flag.Int("rowstxn", 10, "rows accessed per transaction")
+	write := flag.Bool("write", false, "update workload (default read-only)")
+	multisite := flag.Float64("multisite", 0.2, "fraction of multisite transactions (0..1)")
+	skew := flag.Float64("skew", 0, "Zipfian skew factor (0 = uniform)")
+	seed := flag.Int64("seed", 42, "workload seed")
+	verify := flag.Bool("verify", true, "verify the ranking with full mixed-workload runs")
+	flag.Parse()
+
+	var m *islands.Machine
+	switch *machine {
+	case "quad":
+		m = islands.QuadSocket()
+	case "octo":
+		m = islands.OctoSocket()
+	default:
+		fmt.Fprintf(os.Stderr, "islandsadvisor: unknown machine %q\n", *machine)
+		os.Exit(2)
+	}
+
+	candidates := candidateSizes(m.NumCores(), m.SocketCount)
+	base := islands.DefaultConfig(m, 1, *rows)
+	mc := islands.MicroConfig{
+		Table: 1, GlobalRows: *rows, RowsPerTxn: *rowsTxn,
+		Write: *write, ZipfS: *skew, Seed: *seed,
+	}
+	opts := islands.DefaultAdvisorOptions()
+	opts.Verify = *verify
+
+	fmt.Printf("machine: %s\nworkload: %d rows/txn, write=%v, %.0f%% multisite, zipf %.2f\n\n",
+		m, *rowsTxn, *write, *multisite*100, *skew)
+	adv := islands.Advise(base, candidates, *multisite, mc, opts)
+
+	fmt.Printf("%-8s %12s %12s %12s %12s\n", "config", "T_local", "T_distr", "predicted", "measured")
+	for _, c := range adv.Candidates {
+		fmt.Printf("%-8s %10.0fK %10.0fK %10.0fK %10.0fK\n",
+			fmt.Sprintf("%dISL", c.Instances),
+			c.LocalTPS/1e3, c.DistrTPS/1e3, c.PredictedTPS/1e3, c.MeasuredTPS/1e3)
+	}
+	fmt.Printf("\nrecommended: %dISL", adv.Best.Instances)
+	if adv.Best.Instances == m.SocketCount {
+		fmt.Printf("  (one island per socket: the paper's rule of thumb)")
+	}
+	fmt.Println()
+}
+
+// candidateSizes enumerates instance counts that divide the machine evenly:
+// 1, per-socket multiples, and per-core.
+func candidateSizes(cores, sockets int) []int {
+	var out []int
+	for _, n := range []int{1, 2, sockets, 2 * sockets, cores / 2, cores} {
+		if n >= 1 && n <= cores && cores%n == 0 && !contains(out, n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

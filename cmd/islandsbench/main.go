@@ -1,0 +1,63 @@
+// Command islandsbench regenerates the tables and figures of "OLTP on
+// Hardware Islands" (Porobic et al., VLDB 2012).
+//
+// Usage:
+//
+//	islandsbench -list
+//	islandsbench [-quick] [-seed N] fig9 fig13 ...
+//	islandsbench [-quick] all
+//
+// Each experiment prints text tables whose rows and series mirror the
+// paper's charts; EXPERIMENTS.md records how the measured shapes compare to
+// the published ones.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"islands/internal/harness"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	quick := flag.Bool("quick", false, "reduced sweeps and windows")
+	seed := flag.Int64("seed", 42, "workload and placement seed")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("  %-8s %-12s %s\n", e.ID, e.Ref, e.Title)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: islandsbench [-quick] [-seed N] <experiment>... | all | -list")
+		os.Exit(2)
+	}
+	var ids []string
+	if len(args) == 1 && args[0] == "all" {
+		for _, e := range harness.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = args
+	}
+
+	opt := harness.Options{Quick: *quick, Seed: *seed}
+	for _, id := range ids {
+		e, ok := harness.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "islandsbench: unknown experiment %q (try -list)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		res := e.Run(opt)
+		fmt.Println(res.Format())
+		fmt.Printf("   (completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

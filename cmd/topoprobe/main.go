@@ -1,0 +1,53 @@
+// Command topoprobe prints the built-in machine models: geometry, hop
+// matrices, transfer costs, and the island partitions each instance count
+// produces — a quick way to see what "hardware islands" means for a
+// deployment before running experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"islands/internal/topology"
+)
+
+func main() {
+	flag.Parse()
+	for _, m := range []*topology.Machine{topology.QuadSocket(), topology.OctoSocket()} {
+		probe(m)
+		fmt.Println()
+	}
+}
+
+func probe(m *topology.Machine) {
+	fmt.Println(m)
+	fmt.Printf("  mean socket distance: %.2f hops\n", m.MeanHops())
+
+	fmt.Print("  hop matrix:\n")
+	for a := 0; a < m.SocketCount; a++ {
+		fmt.Print("    ")
+		for b := 0; b < m.SocketCount; b++ {
+			fmt.Printf("%d ", m.Hops(topology.SocketID(a), topology.SocketID(b)))
+		}
+		fmt.Println()
+	}
+
+	c0 := topology.CoreID(0)
+	samesock := topology.CoreID(1)
+	remote := topology.CoreID(m.NumCores() - 1)
+	fmt.Printf("  cache-line transfer: same core %v | same socket %v | farthest socket %v\n",
+		m.TransferCost(c0, c0), m.TransferCost(c0, samesock), m.TransferCost(remote, c0))
+	fmt.Printf("  DRAM: local %v | farthest remote %v\n",
+		m.DRAMCost(c0, 0), m.DRAMCost(c0, m.SocketOf(remote)))
+
+	fmt.Println("  island partitions:")
+	for _, n := range []int{1, 2, m.SocketCount, m.NumCores()} {
+		if m.NumCores()%n != 0 {
+			continue
+		}
+		parts := topology.IslandPartition(m, n)
+		spans := topology.SocketsSpanned(m, parts[0])
+		fmt.Printf("    %3dISL: %2d cores/instance, %d socket(s) each\n",
+			n, len(parts[0]), spans)
+	}
+}

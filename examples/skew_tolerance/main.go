@@ -1,0 +1,59 @@
+// Skew tolerance: reproduce the paper's Section 7.3 story in miniature.
+// As Zipfian skew grows, the hottest rows concentrate on one partition:
+// fine-grained shared-nothing collapses (its single-threaded hot instance
+// cannot absorb the load), shared-everything suffers lock contention on hot
+// rows under updates, and socket-sized islands degrade the most gracefully.
+package main
+
+import (
+	"fmt"
+
+	"islands"
+)
+
+func run(machine *islands.Machine, instances int, skew float64, write bool) float64 {
+	cfg := islands.DefaultConfig(machine, instances, 240000)
+	d := islands.NewDeployment(cfg)
+	defer d.Close()
+	d.Start(islands.NewMicroWorkload(islands.MicroConfig{
+		Table:        1,
+		GlobalRows:   240000,
+		RowsPerTxn:   2,
+		Write:        write,
+		PctMultisite: 0.2,
+		ZipfS:        skew,
+		Seed:         11,
+	}, d))
+	return d.Run(1*islands.Millisecond, 10*islands.Millisecond).ThroughputTPS
+}
+
+func main() {
+	machine := islands.QuadSocket()
+	skews := []float64{0, 0.5, 0.75, 1.0}
+
+	for _, write := range []bool{false, true} {
+		kind := "read-only"
+		if write {
+			kind = "update"
+		}
+		fmt.Printf("%s, 2 rows/txn, 20%% multisite [KTps]:\n", kind)
+		fmt.Printf("  %-22s", "config")
+		for _, s := range skews {
+			fmt.Printf("  s=%.2f", s)
+		}
+		fmt.Println()
+		for _, n := range []int{24, 4, 1} {
+			label := map[int]string{24: "24ISL (fine-grained)", 4: "4ISL (islands)", 1: "1ISL (shared-everything)"}[n]
+			fmt.Printf("  %-22s", label)
+			for _, s := range skews {
+				fmt.Printf("  %6.0f", run(machine, n, s, write)/1e3)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Println("note how 4ISL (one island per socket) degrades most gracefully:")
+	fmt.Println("its six worker threads share the hot partition's load, while 24ISL")
+	fmt.Println("bottlenecks on one single-threaded instance and 1ISL serializes on")
+	fmt.Println("hot row locks.")
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sort"
+
+	"islands/internal/engine"
+	"islands/internal/sim"
+)
+
+// The advisor answers the paper's open question (Section 8, future work):
+// "determine the ideal size of each island automatically for the given
+// hardware and workload". It combines the closed-form throughput model of
+// Section 4,
+//
+//	T = (1-p) * Tlocal(n) + p * Tdistr(n)
+//
+// with short calibration simulations that measure Tlocal and Tdistr for
+// each candidate instance count on the actual machine model.
+
+// SourceFactory builds a request driver for a candidate deployment; the
+// pMultisite override lets the advisor calibrate the pure-local and
+// pure-distributed endpoints of the model.
+type SourceFactory func(d *Deployment, pMultisite float64) engine.RequestSource
+
+// Candidate is one advisor result.
+type Candidate struct {
+	Instances    int
+	PredictedTPS float64
+	LocalTPS     float64 // calibrated Tlocal
+	DistrTPS     float64 // calibrated Tdistr
+	MeasuredTPS  float64 // full mixed-workload verification run (if enabled)
+}
+
+// Advice is the advisor's ranked output.
+type Advice struct {
+	Best       Candidate
+	Candidates []Candidate // sorted by PredictedTPS descending
+	PMultisite float64
+}
+
+// AdvisorOptions tune the advisor's calibration runs.
+type AdvisorOptions struct {
+	Warmup sim.Time
+	Window sim.Time
+	// Verify re-runs the best candidates with the true multisite fraction
+	// instead of trusting the interpolation.
+	Verify bool
+}
+
+// DefaultAdvisorOptions keeps calibration cheap: the deployments are
+// simulated, so a few virtual milliseconds give stable rates.
+func DefaultAdvisorOptions() AdvisorOptions {
+	return AdvisorOptions{Warmup: 2 * sim.Millisecond, Window: 10 * sim.Millisecond, Verify: true}
+}
+
+// Advise picks the island size with the best predicted throughput for a
+// workload with the given multisite fraction. baseCfg supplies machine,
+// tables and tuning; its Instances field is overridden per candidate.
+func Advise(baseCfg Config, candidates []int, pMultisite float64,
+	factory SourceFactory, opts AdvisorOptions) Advice {
+
+	out := Advice{PMultisite: pMultisite}
+	for _, n := range candidates {
+		cfg := baseCfg
+		cfg.Instances = n
+		cand := Candidate{Instances: n}
+
+		cand.LocalTPS = calibrate(cfg, 0, factory, opts)
+		if n == 1 {
+			// Shared-everything executes every transaction locally.
+			cand.DistrTPS = cand.LocalTPS
+		} else {
+			cand.DistrTPS = calibrate(cfg, 1, factory, opts)
+		}
+		cand.PredictedTPS = (1-pMultisite)*cand.LocalTPS + pMultisite*cand.DistrTPS
+		if opts.Verify {
+			cand.MeasuredTPS = calibrate(cfg, pMultisite, factory, opts)
+		}
+		out.Candidates = append(out.Candidates, cand)
+	}
+	sort.Slice(out.Candidates, func(i, j int) bool {
+		return score(out.Candidates[i], opts) > score(out.Candidates[j], opts)
+	})
+	out.Best = out.Candidates[0]
+	return out
+}
+
+func score(c Candidate, opts AdvisorOptions) float64 {
+	if opts.Verify {
+		return c.MeasuredTPS
+	}
+	return c.PredictedTPS
+}
+
+func calibrate(cfg Config, pMultisite float64, factory SourceFactory, opts AdvisorOptions) float64 {
+	d := NewDeployment(cfg)
+	defer d.Close()
+	d.Start(factory(d, pMultisite))
+	m := d.Run(opts.Warmup, opts.Window)
+	return m.ThroughputTPS
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"islands/internal/engine"
+	"islands/internal/ipc"
+	"islands/internal/mem"
+	"islands/internal/sim"
+	"islands/internal/storage"
+	"islands/internal/topology"
+	"islands/internal/wal"
+)
+
+// PlacementKind selects how instances map onto cores.
+type PlacementKind int
+
+// Placement strategies of Figure 4 (plus OS for Figures 2/3).
+const (
+	// PlacementIslands is topology-aware: contiguous core blocks aligned
+	// with sockets ("N Islands").
+	PlacementIslands PlacementKind = iota
+	// PlacementSpread is deliberately topology-unaware: every instance
+	// spans as many sockets as possible ("N Spread").
+	PlacementSpread
+	// PlacementOS models leaving placement to the operating system:
+	// uniformly random core assignment, possibly doubling up.
+	PlacementOS
+)
+
+var placementNames = [...]string{"islands", "spread", "os"}
+
+func (p PlacementKind) String() string { return placementNames[p] }
+
+// DiskKind selects the backing device.
+type DiskKind int
+
+// Disk choices: the paper uses memory-mapped files except in Section 7.4.
+const (
+	DiskMMap DiskKind = iota
+	DiskHDD
+)
+
+// TableDecl declares one global table.
+type TableDecl struct {
+	ID       storage.TableID
+	Name     string
+	RowBytes int
+	Rows     int64 // global row count, range-partitioned over instances
+}
+
+// Config describes a deployment to build.
+type Config struct {
+	Machine   *topology.Machine
+	Instances int
+	Placement PlacementKind
+
+	// ActiveCores restricts the deployment to the machine's first k cores
+	// (whole sockets), for the core-scaling experiment of Figure 12.
+	// 0 means all cores.
+	ActiveCores int
+
+	// InstanceCores overrides automatic placement with explicit core lists
+	// (used for the Figure 3 thread-placement experiment). When set,
+	// Instances and Placement are ignored.
+	InstanceCores [][]topology.CoreID
+
+	Tables []TableDecl
+
+	Mechanism ipc.Mechanism // zero value = FIFO; DefaultConfig sets unix
+	Wal       wal.Options
+	Disk      DiskKind
+
+	// BufferPoolPagesTotal caps the machine-wide buffer pool, split evenly
+	// across instances (Figure 14). 0 sizes pools to fit each partition.
+	BufferPoolPagesTotal int
+
+	// LocalOnly declares that the workload never issues multisite
+	// transactions. Single-worker instances then run the H-Store-style fast
+	// path (no locking, no latching, serial execution token). The paper
+	// applies this optimization to perfectly partitionable workloads only:
+	// Section 7.1.2 calls locking "mandatory" once transactions are
+	// distributed, so sweeps that include multisite points keep locking on
+	// everywhere.
+	LocalOnly bool
+
+	// DisableSingleThreadOpt keeps locking/latching on even for
+	// single-worker instances under LocalOnly workloads (ablation of the
+	// H-Store-style fast path).
+	DisableSingleThreadOpt bool
+
+	// Prewarm fills every buffer pool with the coldest-start pages before
+	// measurement, without charging I/O: steady-state measurement for
+	// disk-backed runs (Figure 14).
+	Prewarm bool
+
+	// DisableReadOnlyVote forces read-only 2PC participants through the
+	// full prepare/commit rounds (ablation of the read-only optimization).
+	DisableReadOnlyVote bool
+
+	Seed int64
+}
+
+// DefaultConfig returns a config for the paper's standard microbenchmark
+// dataset: one table of `rows` 250-byte rows on the given machine.
+func DefaultConfig(m *topology.Machine, instances int, rows int64) Config {
+	return Config{
+		Machine:   m,
+		Instances: instances,
+		Placement: PlacementIslands,
+		Tables:    []TableDecl{{ID: 1, Name: "rows", RowBytes: 250, Rows: rows}},
+		Mechanism: ipc.UnixSocket,
+		Wal:       wal.DefaultOptions(),
+	}
+}
+
+// Deployment is a built, runnable configuration.
+type Deployment struct {
+	Cfg       Config
+	Kernel    *sim.Kernel
+	Model     *mem.Model
+	Net       *ipc.Network[engine.Msg]
+	Part      *RangePartitioner
+	Instances []*engine.Instance
+	Disk      *storage.Disk
+
+	tsCounter uint64
+	started   bool
+}
+
+// NewDeployment builds instances, loads data, and wires the network.
+func NewDeployment(cfg Config) *Deployment {
+	if cfg.Machine == nil {
+		panic("core: config needs a machine")
+	}
+	if cfg.Wal.FlushLatency == 0 {
+		cfg.Wal = wal.DefaultOptions()
+	}
+	k := sim.NewKernel()
+	model := mem.NewModel(cfg.Machine)
+	net := ipc.NewNetwork[engine.Msg](k, cfg.Machine, cfg.Mechanism)
+	net.AttachModel(model)
+
+	parts := cfg.InstanceCores
+	if parts == nil {
+		parts = placeInstances(cfg)
+	}
+	n := len(parts)
+
+	rows := make(map[storage.TableID]int64, len(cfg.Tables))
+	for _, t := range cfg.Tables {
+		rows[t.ID] = t.Rows
+	}
+	part := NewRangePartitioner(n, rows)
+
+	var disk *storage.Disk
+	switch cfg.Disk {
+	case DiskHDD:
+		disk = storage.HDDArray()
+	default:
+		disk = storage.MMapDisk()
+	}
+
+	d := &Deployment{Cfg: cfg, Kernel: k, Model: model, Net: net, Part: part, Disk: disk}
+	for i := 0; i < n; i++ {
+		specs := make([]engine.TableSpec, 0, len(cfg.Tables))
+		for _, t := range cfg.Tables {
+			specs = append(specs, engine.TableSpec{
+				ID: t.ID, Name: t.Name, RowBytes: t.RowBytes,
+				LocalRows: part.LocalRows(t.ID, i),
+			})
+		}
+		single := len(parts[i]) == 1 && cfg.LocalOnly && !cfg.DisableSingleThreadOpt
+		opts := engine.Options{
+			Locking:             !single,
+			Latching:            !single,
+			SerialExecution:     single,
+			Wal:                 cfg.Wal,
+			Disk:                disk,
+			DisableReadOnlyVote: cfg.DisableReadOnlyVote,
+			Tables:              specs,
+		}
+		if cfg.BufferPoolPagesTotal > 0 {
+			opts.BufferPoolPages = cfg.BufferPoolPagesTotal / n
+			if opts.BufferPoolPages < 8 {
+				opts.BufferPoolPages = 8
+			}
+		}
+		in := engine.NewInstance(k, cfg.Machine, model, net, engine.InstanceID(i), parts[i], part, &d.tsCounter, opts)
+		d.Instances = append(d.Instances, in)
+	}
+	for _, in := range d.Instances {
+		in.Connect(d.Instances)
+	}
+	if cfg.Prewarm {
+		for _, in := range d.Instances {
+			in.BufferPool().Prewarm(8)
+		}
+	}
+	return d
+}
+
+// placeInstances derives per-instance core lists from the placement kind.
+func placeInstances(cfg Config) [][]topology.CoreID {
+	m := cfg.Machine
+	cores := m.AllCores()
+	if cfg.ActiveCores > 0 {
+		if cfg.ActiveCores > len(cores) {
+			panic(fmt.Sprintf("core: %d active cores exceed machine", cfg.ActiveCores))
+		}
+		cores = cores[:cfg.ActiveCores]
+	}
+	n := cfg.Instances
+	if n < 1 {
+		panic("core: config needs >= 1 instance")
+	}
+	switch cfg.Placement {
+	case PlacementIslands:
+		return topology.PartitionSubset(cores, n)
+	case PlacementSpread:
+		if cfg.ActiveCores == 0 {
+			return topology.SpreadPartition(m, n)
+		}
+		// Transpose within the active subset.
+		perSocket := m.CoresPerSocket
+		sockets := len(cores) / perSocket
+		ordered := make([]topology.CoreID, 0, len(cores))
+		for j := 0; j < perSocket; j++ {
+			for s := 0; s < sockets; s++ {
+				ordered = append(ordered, cores[s*perSocket+j])
+			}
+		}
+		return topology.PartitionSubset(ordered, n)
+	case PlacementOS:
+		rng := rand.New(rand.NewSource(cfg.Seed + 0x05))
+		shuffled := append([]topology.CoreID(nil), cores...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		// OS placement may double threads onto cores while leaving others
+		// idle: draw with replacement.
+		for i := range shuffled {
+			shuffled[i] = cores[rng.Intn(len(cores))]
+		}
+		return topology.PartitionSubset(shuffled, n)
+	default:
+		panic("core: unknown placement")
+	}
+}
+
+// Start launches every instance's threads with src as the request driver.
+func (d *Deployment) Start(src engine.RequestSource) {
+	if d.started {
+		panic("core: deployment already started")
+	}
+	d.started = true
+	for _, in := range d.Instances {
+		in.Start(src)
+	}
+}
+
+// Close tears down the simulation (kills all threads).
+func (d *Deployment) Close() { d.Kernel.Close() }
+
+// Label returns the paper's configuration label, e.g. "24ISL" or "1ISL".
+func (d *Deployment) Label() string {
+	return fmt.Sprintf("%dISL", len(d.Instances))
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"islands/internal/exec"
+	"islands/internal/mem"
+	"islands/internal/sim"
+)
+
+// baseIPC is the no-stall instructions-per-cycle of the modeled cores, used
+// to convert busy/stall time into the IPC proxy reported in Figure 8.
+const baseIPC = 1.6
+
+// Snapshot is a cumulative counter state; measurements are snapshot deltas.
+type Snapshot struct {
+	Committed   uint64
+	Aborted     uint64
+	Local       uint64
+	Multisite   uint64
+	TxnTime     sim.Time
+	Breakdown   exec.Breakdown
+	Mem         mem.Stats
+	Msgs        uint64
+	CrossMsgs   uint64
+	SubWork     uint64
+	Prepares    uint64
+	PerInstance []uint64 // committed per instance
+}
+
+func (d *Deployment) snapshot() Snapshot {
+	var s Snapshot
+	for _, in := range d.Instances {
+		st := in.Stats
+		s.Committed += st.Committed
+		s.Aborted += st.Aborted
+		s.Local += st.Local
+		s.Multisite += st.Multisite
+		s.TxnTime += st.TxnTime
+		s.Breakdown.Add(&st.Breakdown)
+		s.SubWork += st.SubWork
+		s.Prepares += st.Prepares
+		s.PerInstance = append(s.PerInstance, st.Committed)
+	}
+	s.Mem = d.Model.TotalStats(nil)
+	s.Msgs = d.Net.Messages
+	s.CrossMsgs = d.Net.CrossSocket
+	return s
+}
+
+// Measurement summarizes one measured window.
+type Measurement struct {
+	Window sim.Time
+	Snapshot
+
+	ThroughputTPS float64
+	AvgLatency    sim.Time
+	AbortRate     float64 // aborts per attempt
+
+	// Microarchitectural proxies (Figure 8 / Figure 12).
+	IPC          float64 // instructions per cycle
+	StallFrac    float64 // fraction of cycles stalled on memory
+	LLCShareFrac float64 // fraction of cycles moving lines between cores of a socket
+	QPIPerIMC    float64 // interconnect bytes / memory-controller bytes
+}
+
+// Run executes a warmup, then measures a window and returns the delta.
+// Call Start first.
+func (d *Deployment) Run(warmup, window sim.Time) Measurement {
+	if !d.started {
+		panic("core: Run before Start")
+	}
+	d.Kernel.RunFor(warmup)
+	before := d.snapshot()
+	d.Kernel.RunFor(window)
+	after := d.snapshot()
+	return diff(before, after, window, d)
+}
+
+func diff(a, b Snapshot, window sim.Time, d *Deployment) Measurement {
+	m := Measurement{Window: window}
+	m.Committed = b.Committed - a.Committed
+	m.Aborted = b.Aborted - a.Aborted
+	m.Local = b.Local - a.Local
+	m.Multisite = b.Multisite - a.Multisite
+	m.TxnTime = b.TxnTime - a.TxnTime
+	m.SubWork = b.SubWork - a.SubWork
+	m.Prepares = b.Prepares - a.Prepares
+	m.Msgs = b.Msgs - a.Msgs
+	m.CrossMsgs = b.CrossMsgs - a.CrossMsgs
+	for i := range b.Breakdown {
+		m.Breakdown[i] = b.Breakdown[i] - a.Breakdown[i]
+	}
+	m.Mem = b.Mem
+	negate := a.Mem
+	m.Mem.StallTime -= negate.StallTime
+	m.Mem.BusyTime -= negate.BusyTime
+	m.Mem.InstrTime -= negate.InstrTime
+	m.Mem.Accesses -= negate.Accesses
+	m.Mem.L1Hits -= negate.L1Hits
+	m.Mem.LLCHits -= negate.LLCHits
+	m.Mem.C2CSame -= negate.C2CSame
+	m.Mem.C2CCross -= negate.C2CCross
+	m.Mem.DRAMLocal -= negate.DRAMLocal
+	m.Mem.DRAMRemote -= negate.DRAMRemote
+	m.Mem.QPIBytes -= negate.QPIBytes
+	m.Mem.IMCBytes -= negate.IMCBytes
+	m.PerInstance = make([]uint64, len(b.PerInstance))
+	for i := range b.PerInstance {
+		m.PerInstance[i] = b.PerInstance[i] - a.PerInstance[i]
+	}
+
+	if window > 0 {
+		m.ThroughputTPS = float64(m.Committed) / window.Seconds()
+	}
+	if m.Committed > 0 {
+		m.AvgLatency = m.TxnTime / sim.Time(m.Committed)
+	}
+	if attempts := m.Committed + m.Aborted; attempts > 0 {
+		m.AbortRate = float64(m.Aborted) / float64(attempts)
+	}
+	// Cycles = dilated busy time + memory-line stalls; useful instructions
+	// are the undilated work. The gap reproduces the IPC and stalled-cycle
+	// ladders of Figure 8.
+	busy := float64(m.Mem.BusyTime)
+	stall := float64(m.Mem.StallTime)
+	instr := float64(m.Mem.InstrTime)
+	if busy+stall > 0 {
+		m.StallFrac = 1 - instr/(busy+stall)
+		m.IPC = baseIPC * instr / (busy + stall)
+		llcMove := float64(m.Mem.C2CSame) * float64(d.Cfg.Machine.Lat.C2CSameSocket)
+		m.LLCShareFrac = llcMove / (busy + stall)
+	}
+	if m.Mem.IMCBytes > 0 {
+		m.QPIPerIMC = float64(m.Mem.QPIBytes) / float64(m.Mem.IMCBytes)
+	}
+	return m
+}
+
+// CostPerTxn returns the average machine time consumed per committed
+// transaction: active-cores x window / committed. This matches how the
+// paper reports "cost per transaction" in Figure 10 (total capacity divided
+// by throughput).
+func (m *Measurement) CostPerTxn(activeCores int) sim.Time {
+	if m.Committed == 0 {
+		return 0
+	}
+	return sim.Time(uint64(activeCores) * uint64(m.Window) / m.Committed)
+}
+
+// BreakdownPerTxn returns each bucket divided by committed transactions.
+// Idle thread time is excluded: it is capacity waiting for work, not a
+// per-transaction cost.
+func (m *Measurement) BreakdownPerTxn() exec.Breakdown {
+	var out exec.Breakdown
+	if m.Committed == 0 {
+		return out
+	}
+	for i := range m.Breakdown {
+		if exec.Bucket(i) == exec.BIdle {
+			continue
+		}
+		out[i] = m.Breakdown[i] / sim.Time(m.Committed)
+	}
+	return out
+}
+
+// Imbalance returns max/mean committed across instances (skew diagnostic).
+func (m *Measurement) Imbalance() float64 {
+	if len(m.PerInstance) == 0 || m.Committed == 0 {
+		return 1
+	}
+	var max uint64
+	for _, v := range m.PerInstance {
+		if v > max {
+			max = v
+		}
+	}
+	mean := float64(m.Committed) / float64(len(m.PerInstance))
+	if mean == 0 {
+		return 1
+	}
+	return float64(max) / mean
+}

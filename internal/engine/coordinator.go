@@ -1,0 +1,268 @@
+package engine
+
+import (
+	"errors"
+
+	"islands/internal/exec"
+	"islands/internal/ipc"
+	"islands/internal/lock"
+	"islands/internal/sim"
+	"islands/internal/storage"
+	"islands/internal/wal"
+)
+
+// errAborted signals a wait-die abort somewhere in the transaction; the
+// worker retries the whole request with the same timestamp.
+var errAborted = errors.New("engine: transaction aborted, retry")
+
+// runTxn executes one request to commit, retrying wait-die victims with the
+// original timestamp (which guarantees progress: a transaction eventually
+// becomes the oldest and cannot die).
+func (in *Instance) runTxn(ctx *exec.Ctx, req Request, reply *ipc.Endpoint[Msg]) {
+	*in.ts = *in.ts + 1
+	ts := *in.ts
+	for {
+		multisite, err := in.attemptTxn(ctx, ts, req, reply)
+		if err == nil {
+			in.Stats.Committed++
+			if multisite {
+				in.Stats.Multisite++
+			} else {
+				in.Stats.Local++
+			}
+			return
+		}
+		in.Stats.Aborted++
+		// Back off descheduled so the conflicting older transaction can use
+		// the core.
+		ctx.Block(func() { ctx.P.Advance(RetryBackoff) })
+	}
+}
+
+// attemptTxn runs one attempt of the request as coordinator.
+func (in *Instance) attemptTxn(ctx *exec.Ctx, ts uint64, req Request, reply *ipc.Endpoint[Msg]) (multisite bool, err error) {
+	if in.serial != nil {
+		if err := in.serial.Acquire(ctx, ts); err != nil {
+			return false, errAborted
+		}
+		defer in.serial.Release()
+	}
+	txn := in.newTxn(ctx, ts, false)
+
+	// Split operations into the local part and per-participant parts.
+	var local []localOp
+	remote := make([][]localOp, 0) // dense by participant order
+	remoteIDs := make([]InstanceID, 0)
+	remoteIndex := make(map[InstanceID]int)
+	for _, op := range req.Ops {
+		iid, lk := in.part.Locate(op.Table, op.Key)
+		lop := localOp{Table: int32(op.Table), Key: lk, Kind: op.Kind}
+		if iid == in.ID {
+			local = append(local, lop)
+			continue
+		}
+		idx, ok := remoteIndex[iid]
+		if !ok {
+			idx = len(remote)
+			remoteIndex[iid] = idx
+			remoteIDs = append(remoteIDs, iid)
+			remote = append(remote, nil)
+		}
+		remote[idx] = append(remote[idx], lop)
+	}
+	multisite = len(remoteIDs) > 0
+
+	// Dispatch work to participants before doing local work, so remote
+	// execution overlaps local execution.
+	for i, iid := range remoteIDs {
+		in.net.Send(ctx, in.peers[iid].workQ, Msg{
+			Kind: msgWork, From: in.ID, Txn: ts, Ops: remote[i], ReplyTo: reply,
+		})
+	}
+
+	// Local execution.
+	prev := ctx.Bucket(exec.BExec)
+	localErr := error(nil)
+	for _, op := range local {
+		if localErr = txn.apply(ctx, op); localErr != nil {
+			break
+		}
+	}
+	ctx.Bucket(prev)
+
+	// Collect work replies.
+	died := localErr != nil
+	writers := make([]InstanceID, 0, len(remoteIDs))
+	for range remoteIDs {
+		m := reply.Recv(ctx)
+		switch {
+		case !m.OK:
+			died = true // participant died; it cleaned up locally
+		case !m.ReadOnly:
+			writers = append(writers, m.From)
+		}
+	}
+
+	if died {
+		txn.abortLocal(ctx)
+		for _, iid := range writers {
+			in.net.Send(ctx, in.peers[iid].ctrlQ, Msg{Kind: msgAbort, From: in.ID, Txn: ts})
+		}
+		return multisite, errAborted
+	}
+
+	if len(writers) == 0 {
+		// All participants were read-only (and already released): a plain
+		// local commit ends the transaction. This is the read-only 2PC
+		// optimization: two messages per participant instead of four.
+		txn.commitLocal(ctx)
+		return multisite, nil
+	}
+
+	// Standard two-phase commit over the writing participants.
+	for _, iid := range writers {
+		in.net.Send(ctx, in.peers[iid].ctrlQ, Msg{Kind: msgPrepare, From: in.ID, Txn: ts, ReplyTo: reply})
+	}
+	allYes := true
+	for range writers {
+		if m := reply.Recv(ctx); !m.OK {
+			allYes = false
+		}
+	}
+	if !allYes {
+		txn.abortLocal(ctx)
+		for _, iid := range writers {
+			in.net.Send(ctx, in.peers[iid].ctrlQ, Msg{Kind: msgAbort, From: in.ID, Txn: ts})
+		}
+		return multisite, errAborted
+	}
+
+	// Commit point: force the distributed-commit record at the coordinator.
+	lsn := in.wal.Append(ctx, wal.Record{Type: wal.RecDistCommit, Txn: ts})
+	in.wal.Flush(ctx, lsn)
+
+	for _, iid := range writers {
+		in.net.Send(ctx, in.peers[iid].ctrlQ, Msg{Kind: msgCommit, From: in.ID, Txn: ts})
+	}
+
+	// Local effects commit under the dist-commit record; the end record is
+	// written lazily (not forced).
+	prevB := ctx.Bucket(exec.BXct)
+	ctx.Charge(CostCommitCPU)
+	ctx.Bucket(prevB)
+	in.Stats.RowsCommitted += uint64(txn.nUpdates)
+	in.locks.ReleaseAll(ctx, ts)
+	in.wal.Append(ctx, wal.Record{Type: wal.RecEnd, Txn: ts})
+	return multisite, nil
+}
+
+// tokenPollDelay is how long a subordinate request for a busy partition
+// token waits before re-checking. The service thread never blocks on the
+// token: blocking would stall the work queue and defeat wait-die.
+const tokenPollDelay = 2 * sim.Microsecond
+
+// handleWork executes a subordinate work request on a service thread.
+func (in *Instance) handleWork(ctx *exec.Ctx, m Msg) {
+	if in.serial != nil && !in.serial.TryAcquire(m.Txn) {
+		if in.serial.ShouldDie(m.Txn) {
+			// Wait-die on the partition token: tell the coordinator to
+			// abort and retry.
+			in.Stats.SubWork++
+			in.serial.Dies++
+			in.net.Send(ctx, m.ReplyTo, Msg{Kind: msgReply, From: in.ID, Txn: m.Txn, OK: false})
+			return
+		}
+		// Older than the holder: poll until the partition frees up, serving
+		// other messages meanwhile.
+		in.workQ.Defer(tokenPollDelay, m)
+		return
+	}
+	in.Stats.SubWork++
+	txn := in.newTxn(ctx, m.Txn, true)
+	prev := ctx.Bucket(exec.BExec)
+	var err error
+	for _, op := range m.Ops {
+		if err = txn.apply(ctx, op); err != nil {
+			break
+		}
+	}
+	ctx.Bucket(prev)
+	if err != nil {
+		txn.abortLocal(ctx)
+		if in.serial != nil {
+			in.serial.Release()
+		}
+		in.net.Send(ctx, m.ReplyTo, Msg{Kind: msgReply, From: in.ID, Txn: m.Txn, OK: false})
+		return
+	}
+	if !txn.updated && !in.opts.DisableReadOnlyVote {
+		// Read-only: release now, vote read-only in the reply.
+		in.Stats.SubReadOnly++
+		txn.releaseReadOnly(ctx)
+		if in.serial != nil {
+			in.serial.Release()
+		}
+		in.net.Send(ctx, m.ReplyTo, Msg{Kind: msgReply, From: in.ID, Txn: m.Txn, OK: true, ReadOnly: true})
+		return
+	}
+	// A writing participant keeps the partition token (if any) until the
+	// coordinator's decision arrives: the partition stalls, the defining
+	// cost of distributed transactions on single-threaded instances.
+	txn.holdsToken = in.serial != nil
+	in.pending[m.Txn] = txn
+	in.net.Send(ctx, m.ReplyTo, Msg{Kind: msgReply, From: in.ID, Txn: m.Txn, OK: true})
+}
+
+// handleCtrl processes 2PC control traffic on a control thread.
+func (in *Instance) handleCtrl(ctx *exec.Ctx, m Msg) {
+	switch m.Kind {
+	case msgPrepare:
+		txn := in.pending[m.Txn]
+		if txn == nil {
+			// The subordinate died after replying (cannot happen with the
+			// current protocol, but vote no defensively).
+			in.net.Send(ctx, m.ReplyTo, Msg{Kind: msgVote, From: in.ID, Txn: m.Txn, OK: false})
+			return
+		}
+		in.Stats.Prepares++
+		lsn := in.wal.Append(ctx, wal.Record{Type: wal.RecPrepare, Txn: m.Txn})
+		in.wal.Flush(ctx, lsn) // the forced prepare write of 2PC
+		in.net.Send(ctx, m.ReplyTo, Msg{Kind: msgVote, From: in.ID, Txn: m.Txn, OK: true})
+
+	case msgCommit:
+		txn := in.pending[m.Txn]
+		if txn == nil {
+			return
+		}
+		delete(in.pending, m.Txn)
+		in.wal.Append(ctx, wal.Record{Type: wal.RecDistCommit, Txn: m.Txn}) // lazy
+		prev := ctx.Bucket(exec.BXct)
+		ctx.Charge(CostCommitCPU)
+		ctx.Bucket(prev)
+		in.Stats.RowsCommitted += uint64(txn.nUpdates)
+		in.locks.ReleaseAll(ctx, m.Txn)
+		if txn.holdsToken {
+			in.serial.Release()
+		}
+
+	case msgAbort:
+		txn := in.pending[m.Txn]
+		if txn == nil {
+			return // already cleaned up (it died locally)
+		}
+		delete(in.pending, m.Txn)
+		txn.abortLocal(ctx)
+		in.wal.Append(ctx, wal.Record{Type: wal.RecDistAbort, Txn: m.Txn})
+		if txn.holdsToken {
+			in.serial.Release()
+		}
+
+	default:
+		panic("engine: unexpected control message " + m.Kind.String())
+	}
+}
+
+// LockKeyFor builds the lock key for a row (exported for tests).
+func LockKeyFor(table storage.TableID, key int64) lock.Key {
+	return lock.Key{Space: uint32(table), ID: key}
+}

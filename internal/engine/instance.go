@@ -1,0 +1,349 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"islands/internal/exec"
+	"islands/internal/ipc"
+	"islands/internal/lock"
+	"islands/internal/mem"
+	"islands/internal/sim"
+	"islands/internal/storage"
+	"islands/internal/topology"
+	"islands/internal/wal"
+)
+
+// TableSpec declares one table of an instance. LocalRows is the number of
+// rows this instance's partition holds.
+type TableSpec struct {
+	ID        storage.TableID
+	Name      string
+	RowBytes  int
+	LocalRows int64
+}
+
+// Options configure an instance.
+type Options struct {
+	// Locking enables the lock manager; disabled for single-threaded
+	// instances (H-Store-style optimization).
+	Locking bool
+	// Latching enables page latches; disabled alongside locking.
+	Latching bool
+	// SerialExecution makes the partition execute one transaction at a time
+	// via an execution token (H-Store style). Set together with
+	// Locking=false on single-worker instances: isolation then comes from
+	// the token instead of the lock manager.
+	SerialExecution bool
+	// BufferPoolPages caps the buffer pool; 0 sizes it to hold the whole
+	// partition plus slack (the paper's default: data fits the pool).
+	BufferPoolPages int
+	// Wal configures the log manager.
+	Wal wal.Options
+	// Disk backs data pages; nil uses a memory-mapped disk.
+	Disk *storage.Disk
+	// DisableReadOnlyVote forces read-only participants through the full
+	// two-phase commit (prepare + commit rounds) instead of voting
+	// read-only at work-reply time. Ablation knob: quantifies the
+	// optimization's contribution to distributed read performance.
+	DisableReadOnlyVote bool
+	// Tables lists the partition's tables.
+	Tables []TableSpec
+}
+
+// DefaultOptions returns a multi-threaded instance configuration.
+func DefaultOptions(tables ...TableSpec) Options {
+	return Options{Locking: true, Latching: true, Wal: wal.DefaultOptions(), Tables: tables}
+}
+
+type tableState struct {
+	def *storage.Table
+	idx *storage.BTree
+}
+
+// Stats aggregates an instance's execution counters. The harness resets it
+// after warmup and reads it at the end of the measurement window.
+type Stats struct {
+	Committed uint64
+	Aborted   uint64 // wait-die victims that were retried
+	Local     uint64 // committed single-site transactions
+	Multisite uint64 // committed transactions with >= 1 participant
+
+	TxnTime   sim.Time // summed wall latency of committed transactions
+	Breakdown exec.Breakdown
+
+	SubWork     uint64 // subordinate work requests executed
+	SubReadOnly uint64 // ... that voted read-only
+	Prepares    uint64
+
+	// RowsCommitted counts row-version bumps whose transactions committed
+	// on this instance: the atomicity invariant ties it to the versions
+	// readable in the data (see Instance.SumRowVersions).
+	RowsCommitted uint64
+}
+
+// Instance is one database of the shared-nothing deployment (or the single
+// database of a shared-everything deployment).
+type Instance struct {
+	ID    InstanceID
+	Cores []topology.CoreID
+
+	k     *sim.Kernel
+	topo  *topology.Machine
+	model *mem.Model
+	cpus  []*sim.Mutex
+
+	store  *storage.PageStore
+	bp     *storage.BufferPool
+	wal    *wal.Manager
+	locks  *lock.Manager
+	tables map[storage.TableID]*tableState
+	ws     mem.WorkingSet
+
+	// txnLine is the transaction-manager metadata line (begin/commit touch
+	// it): a classic shared-everything hotspot.
+	txnLine mem.Line
+
+	// dilation stretches this instance's compute charges according to its
+	// topology footprint (see the dilation constants in request.go).
+	dilation float64
+
+	net   *ipc.Network[Msg]
+	workQ *ipc.Endpoint[Msg]
+	ctrlQ *ipc.Endpoint[Msg]
+	peers []*Instance
+
+	part Partitioner
+	ts   *uint64
+
+	serial  *execToken // non-nil under SerialExecution
+	pending map[uint64]*Txn
+	opts    Options
+
+	Stats Stats
+}
+
+// NewInstance builds (and loads) an instance on the given cores.
+// tsCounter is the deployment-global transaction timestamp source.
+func NewInstance(k *sim.Kernel, topo *topology.Machine, model *mem.Model,
+	net *ipc.Network[Msg], id InstanceID, cores []topology.CoreID,
+	part Partitioner, tsCounter *uint64, opts Options) *Instance {
+
+	if len(cores) == 0 {
+		panic("engine: instance needs at least one core")
+	}
+	in := &Instance{
+		ID:      id,
+		Cores:   cores,
+		k:       k,
+		topo:    topo,
+		model:   model,
+		net:     net,
+		part:    part,
+		ts:      tsCounter,
+		opts:    opts,
+		pending: make(map[uint64]*Txn),
+		tables:  make(map[storage.TableID]*tableState),
+	}
+	// Threads bound to the same physical core share its run queue (the OS
+	// placement strategy can double up workers on a core).
+	byCore := make(map[topology.CoreID]*sim.Mutex)
+	in.cpus = make([]*sim.Mutex, len(cores))
+	for i, c := range cores {
+		if byCore[c] == nil {
+			byCore[c] = &sim.Mutex{}
+		}
+		in.cpus[i] = byCore[c]
+	}
+	if opts.SerialExecution {
+		in.serial = &execToken{}
+	}
+
+	in.store = storage.NewPageStore()
+	var totalPages int64
+	var totalBytes int64
+	for _, spec := range opts.Tables {
+		def := &storage.Table{ID: spec.ID, Name: spec.Name, RowBytes: spec.RowBytes, NumRows: spec.LocalRows}
+		in.store.AddTable(def)
+		idx := storage.NewBTree(0)
+		keys := make([]int64, spec.LocalRows)
+		for i := range keys {
+			keys[i] = int64(i)
+		}
+		idx.BulkLoad(keys, def.Locate, 0.9)
+		in.tables[spec.ID] = &tableState{def: def, idx: idx}
+		totalPages += def.NumPages()
+		totalBytes += def.Bytes()
+	}
+
+	disk := opts.Disk
+	if disk == nil {
+		disk = storage.MMapDisk()
+	}
+	bpPages := opts.BufferPoolPages
+	if bpPages <= 0 {
+		bpPages = int(totalPages) + 64
+	}
+	in.bp = storage.NewBufferPool(in.store, disk, bpPages)
+	in.wal = wal.NewManager(k, opts.Wal)
+	in.locks = lock.NewManager(opts.Locking)
+
+	home := topo.SocketOf(cores[0])
+	in.ws = mem.WorkingSet{
+		Bytes:       totalBytes,
+		HomeSocket:  home,
+		Interleaved: topology.SocketsSpanned(topo, cores) > 1,
+		Cores:       cores,
+	}
+
+	span := topology.SocketsSpanned(topo, cores)
+	in.dilation = 1 +
+		dilationPerCoreCoeff*math.Pow(float64(len(cores)-1), dilationPerCoreExp) +
+		dilationPerSocketCoeff*math.Pow(float64(span-1), dilationPerSocketExp)
+	if llcEff := topo.LLCBytes * int64(span); totalBytes > llcEff {
+		in.dilation += dilationCapacityCoeff * float64(totalBytes-llcEff) / float64(totalBytes)
+	}
+
+	in.workQ = net.NewEndpoint(cores[0])
+	in.ctrlQ = net.NewEndpoint(cores[0])
+	return in
+}
+
+// Dilation returns the instance's compute dilation factor (diagnostics).
+func (in *Instance) Dilation() float64 { return in.dilation }
+
+// Connect wires the instance to its peers (including itself, indexed by
+// InstanceID). Must be called before Start.
+func (in *Instance) Connect(peers []*Instance) { in.peers = peers }
+
+// Table returns the table state (for tests and loaders).
+func (in *Instance) TableDef(id storage.TableID) *storage.Table {
+	ts := in.tables[id]
+	if ts == nil {
+		return nil
+	}
+	return ts.def
+}
+
+// BufferPool exposes the buffer pool (metrics).
+func (in *Instance) BufferPool() *storage.BufferPool { return in.bp }
+
+// Wal exposes the log manager (metrics).
+func (in *Instance) Wal() *wal.Manager { return in.wal }
+
+// Locks exposes the lock manager (metrics).
+func (in *Instance) Locks() *lock.Manager { return in.locks }
+
+// WorkingSet exposes the memory-model working set (metrics).
+func (in *Instance) WorkingSet() *mem.WorkingSet { return &in.ws }
+
+// SumRowVersions sums the row version counters of every table, reading the
+// current buffer-pool state without consuming any virtual time: a
+// consistent instantaneous snapshot. With strict two-phase locking, at any
+// instant the machine-wide sum equals the machine-wide committed row
+// updates plus the bumps of in-flight transactions (at most one transaction
+// per worker thread): the atomicity invariant used by failure-injection
+// tests.
+func (in *Instance) SumRowVersions() uint64 {
+	var sum uint64
+	for _, ts := range in.sortedTables() {
+		for no := int64(0); no < ts.def.NumPages(); no++ {
+			pg := in.bp.Peek(storage.PageID{Table: ts.def.ID, No: no})
+			if pg == nil {
+				pg = in.store.Fetch(storage.PageID{Table: ts.def.ID, No: no})
+			}
+			for s := 0; s < pg.NumSlots(); s++ {
+				if row, ok := pg.Get(uint16(s)); ok {
+					sum += storage.RowVersion(row)
+				}
+			}
+		}
+	}
+	return sum
+}
+
+func (in *Instance) sortedTables() []*tableState {
+	out := make([]*tableState, 0, len(in.tables))
+	for _, ts := range in.tables {
+		out = append(out, ts)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].def.ID < out[j].def.ID })
+	return out
+}
+
+// newCtx builds an execution context for a thread on the i-th core.
+func (in *Instance) newCtx(p *sim.Proc, i int) *exec.Ctx {
+	ctx := exec.New(p, in.Cores[i%len(in.Cores)], in.model, in.cpus[i%len(in.cpus)])
+	ctx.BD = &in.Stats.Breakdown
+	ctx.Dilation = in.dilation
+	return ctx
+}
+
+// Start spawns the instance's threads: one worker per core executing
+// requests from src, one service thread per core executing subordinate work
+// for remote coordinators, and one control thread per core handling 2PC
+// prepare/commit/abort. Control traffic is segregated from work traffic so
+// lock releases can never be starved by queued work (which would otherwise
+// allow distributed stalls).
+func (in *Instance) Start(src RequestSource) {
+	for i := range in.Cores {
+		i := i
+		in.k.Spawn(fmt.Sprintf("i%d/worker%d", in.ID, i), func(p *sim.Proc) {
+			in.workerLoop(p, i, src)
+		})
+		in.k.Spawn(fmt.Sprintf("i%d/service%d", in.ID, i), func(p *sim.Proc) {
+			in.serviceLoop(p, i)
+		})
+		in.k.Spawn(fmt.Sprintf("i%d/ctrl%d", in.ID, i), func(p *sim.Proc) {
+			in.ctrlLoop(p, i)
+		})
+	}
+}
+
+// StartWorkersOnly spawns only request-executing workers; used by unit tests
+// and single-instance deployments where no 2PC traffic can arrive.
+func (in *Instance) StartWorkersOnly(src RequestSource) {
+	for i := range in.Cores {
+		i := i
+		in.k.Spawn(fmt.Sprintf("i%d/worker%d", in.ID, i), func(p *sim.Proc) {
+			in.workerLoop(p, i, src)
+		})
+	}
+}
+
+func (in *Instance) workerLoop(p *sim.Proc, i int, src RequestSource) {
+	ctx := in.newCtx(p, i)
+	reply := in.net.NewEndpoint(ctx.Core)
+	for {
+		req := src.Next(in.ID, i)
+		ctx.Schedule()
+		prev := ctx.Bucket(exec.BXct)
+		ctx.Charge(CostDispatch)
+		ctx.Bucket(prev)
+		start := p.Now()
+		in.runTxn(ctx, req, reply)
+		in.Stats.TxnTime += p.Now() - start
+		ctx.Deschedule()
+	}
+}
+
+func (in *Instance) serviceLoop(p *sim.Proc, i int) {
+	ctx := in.newCtx(p, i)
+	for {
+		ctx.Schedule()
+		m := in.workQ.RecvIdle(ctx) // wait is idle, not txn cost
+		in.handleWork(ctx, m)
+		ctx.Deschedule()
+	}
+}
+
+func (in *Instance) ctrlLoop(p *sim.Proc, i int) {
+	ctx := in.newCtx(p, i)
+	for {
+		ctx.Schedule()
+		m := in.ctrlQ.RecvIdle(ctx)
+		in.handleCtrl(ctx, m)
+		ctx.Deschedule()
+	}
+}

@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"testing"
+
+	"islands/internal/ipc"
+	"islands/internal/mem"
+	"islands/internal/sim"
+	"islands/internal/storage"
+	"islands/internal/topology"
+	"islands/internal/wal"
+)
+
+// buildRetained constructs a single instance with log retention.
+func buildRetained(k *sim.Kernel, rows int64) *Instance {
+	topo := topology.QuadSocket()
+	model := mem.NewModel(topo)
+	net := ipc.NewNetwork[Msg](k, topo, ipc.UnixSocket)
+	var ts uint64
+	opts := DefaultOptions(TableSpec{ID: 1, Name: "rows", RowBytes: 250, LocalRows: rows})
+	opts.Wal.Retain = true
+	in := NewInstance(k, topo, model, net, 0, topology.IslandPartition(topo, 1)[0],
+		rangePart{instances: 1, rows: rows}, &ts, opts)
+	in.Connect([]*Instance{in})
+	return in
+}
+
+// afterImage builds the post-update image of a fresh row.
+func afterImage(def *storage.Table, key int64) []byte {
+	b := make([]byte, def.RowBytes)
+	def.SynthesizeRow(key, b)
+	storage.BumpRowVersion(b)
+	return b
+}
+
+func TestRecoverReappliesCommittedUpdates(t *testing.T) {
+	// Crash-and-recover: run updates, "lose" all volatile state by
+	// building a fresh instance, replay the log, compare row versions.
+	k := sim.NewKernel()
+	victim := buildRetained(k, 240)
+	src := newFixedSource(Request{Ops: []Op{
+		{Table: 1, Key: 7, Kind: OpUpdate},
+		{Table: 1, Key: 100, Kind: OpUpdate},
+	}})
+	victim.StartWorkersOnly(src)
+	k.RunFor(2 * sim.Millisecond)
+	committed := victim.Stats.RowsCommitted
+	if committed == 0 {
+		t.Fatal("no updates committed before the crash")
+	}
+	log := victim.Wal().Records()
+	k.Close() // the crash: all volatile state of the victim is gone
+
+	// Fresh instance, same schema, empty caches.
+	k2 := sim.NewKernel()
+	defer k2.Close()
+	fresh := buildRetained(k2, 240)
+	rep, err := fresh.Recover(log)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if rep.Redone == 0 || rep.Committed == 0 {
+		t.Fatalf("recovery did nothing: %+v", rep)
+	}
+	// All committed version bumps must be visible; uncommitted ones (cut
+	// off mid-flight by the crash) must not.
+	sum := fresh.SumRowVersions()
+	if sum != uint64(rep.Redone) {
+		t.Errorf("recovered version sum %d != redone updates %d", sum, rep.Redone)
+	}
+	if sum < committed {
+		t.Errorf("recovered versions %d lost committed updates (%d)", sum, committed)
+	}
+}
+
+func TestRecoverSkipsLosers(t *testing.T) {
+	// Hand-craft a log: txn 1 commits, txn 2 never does, txn 3 aborts.
+	k := sim.NewKernel()
+	defer k.Close()
+	in := buildRetained(k, 240)
+	def := in.TableDef(1)
+	log := []wal.Record{
+		{Type: wal.RecUpdate, Txn: 1, Table: 1, Key: 5, After: afterImage(def, 5)},
+		{Type: wal.RecCommit, Txn: 1},
+		{Type: wal.RecUpdate, Txn: 2, Table: 1, Key: 6, After: afterImage(def, 6)},
+		{Type: wal.RecUpdate, Txn: 3, Table: 1, Key: 7, After: afterImage(def, 7)},
+		{Type: wal.RecAbort, Txn: 3},
+	}
+	rep, err := in.Recover(log)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if rep.Redone != 1 || rep.Skipped != 2 {
+		t.Errorf("report %+v, want 1 redone / 2 skipped", rep)
+	}
+	if rep.Losers != 1 {
+		t.Errorf("losers = %d, want 1 (txn 2)", rep.Losers)
+	}
+	if sum := in.SumRowVersions(); sum != 1 {
+		t.Errorf("version sum = %d, want 1 (only txn 1's update)", sum)
+	}
+}
+
+func TestRecoverDistributedOutcomes(t *testing.T) {
+	// Prepared-but-undecided participant work must not be redone; a
+	// dist-commit makes it a winner.
+	k := sim.NewKernel()
+	defer k.Close()
+	in := buildRetained(k, 240)
+	def := in.TableDef(1)
+	log := []wal.Record{
+		{Type: wal.RecUpdate, Txn: 10, Table: 1, Key: 1, After: afterImage(def, 1)},
+		{Type: wal.RecPrepare, Txn: 10}, // undecided: loser
+		{Type: wal.RecUpdate, Txn: 11, Table: 1, Key: 2, After: afterImage(def, 2)},
+		{Type: wal.RecPrepare, Txn: 11},
+		{Type: wal.RecDistCommit, Txn: 11},
+	}
+	rep, err := in.Recover(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Redone != 1 {
+		t.Errorf("redone = %d, want only the dist-committed txn", rep.Redone)
+	}
+	if sum := in.SumRowVersions(); sum != 1 {
+		t.Errorf("version sum = %d, want 1", sum)
+	}
+}
+
+func TestRecoverRejectsImagelessLog(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	in := buildRetained(k, 240)
+	log := []wal.Record{
+		{Type: wal.RecUpdate, Txn: 1, Table: 1, Key: 5}, // no after-image
+		{Type: wal.RecCommit, Txn: 1},
+	}
+	if _, err := in.Recover(log); err == nil {
+		t.Error("expected error for log without after-images")
+	}
+}

@@ -1,0 +1,104 @@
+// Package engine implements the database instance of the shared-nothing
+// prototype: worker threads bound to cores executing transactions against
+// the storage stack (B+tree, buffer pool, WAL, 2PL), service threads
+// executing subordinate work for remote coordinators, and a standard
+// two-phase commit protocol with the read-only participant optimization.
+// A shared-everything deployment is simply one instance spanning all cores.
+package engine
+
+import (
+	"islands/internal/sim"
+	"islands/internal/storage"
+)
+
+// InstanceID identifies a database instance within a deployment.
+type InstanceID int32
+
+// OpKind is the kind of a transaction operation.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpRead   OpKind = iota // read one row by key
+	OpUpdate               // read-modify-write one row by key
+	OpInsert               // append a fresh row (key assigned by the owner)
+)
+
+// Op is one row operation. Key is a global key; the coordinator translates
+// it to (instance, local key) through the Partitioner. For OpInsert, Key
+// selects the partition that receives the insert.
+type Op struct {
+	Table storage.TableID
+	Key   int64
+	Kind  OpKind
+}
+
+// Request is a transaction to execute.
+type Request struct {
+	Ops []Op
+}
+
+// Writes reports whether any operation mutates data.
+func (r *Request) Writes() bool {
+	for _, op := range r.Ops {
+		if op.Kind != OpRead {
+			return true
+		}
+	}
+	return false
+}
+
+// Partitioner maps global keys to instances and instance-local keys.
+// Implementations live in internal/core (range partitioning); engine only
+// consumes the interface.
+type Partitioner interface {
+	// Locate returns the owning instance and the local key of a global key.
+	Locate(table storage.TableID, key int64) (InstanceID, int64)
+	// Instances returns the number of instances.
+	Instances() int
+}
+
+// RequestSource feeds workers with transactions (closed-loop driver).
+type RequestSource interface {
+	// Next returns the next request for the given worker. It must not
+	// block and is called outside of virtual time (dispatch cost is charged
+	// separately by the worker).
+	Next(inst InstanceID, worker int) Request
+}
+
+// Engine cost constants: fixed CPU charges for transaction management,
+// independent of the storage-layer charges (index, buffer pool, locks, log)
+// which are billed where they occur. Calibrated against Figure 10's
+// cost-per-transaction curves.
+const (
+	// CostDispatch covers taking a request off the client queue.
+	CostDispatch = 1500 * sim.Nanosecond
+	// CostBegin covers transaction begin bookkeeping.
+	CostBegin = 4 * sim.Microsecond
+	// CostCommitCPU covers commit-path bookkeeping (excluding log flush).
+	CostCommitCPU = 3 * sim.Microsecond
+	// CostAbortCPU covers abort-path bookkeeping (excluding undo).
+	CostAbortCPU = 2 * sim.Microsecond
+	// CostPerRowCPU covers per-row evaluation (predicate, copy out).
+	CostPerRowCPU = 1800 * sim.Nanosecond
+	// CostUndoPerRow covers restoring one before-image.
+	CostUndoPerRow = 1400 * sim.Nanosecond
+	// RetryBackoff is the delay before re-running a wait-die victim.
+	RetryBackoff = 3 * sim.Microsecond
+)
+
+// Dilation model constants: wall-time per instruction grows with the number
+// of threads in an instance (shared data structures thrash private caches)
+// and with the sockets it spans (remote misses). Calibrated so the
+// throughput ratios of Figure 9 at 0% multisite (24ISL : 4ISL : 1ISL of
+// roughly 1 : 0.6 : 0.37) and the IPC ladder of Figure 8 reproduce.
+const (
+	dilationPerCoreCoeff   = 0.26
+	dilationPerCoreExp     = 0.5
+	dilationPerSocketCoeff = 0.20
+	dilationPerSocketExp   = 0.7
+	// dilationCapacityCoeff adds stall time as the instance's working set
+	// outgrows the LLC capacity available to it — the gradual decline from
+	// cache-resident to memory-resident datasets in Figure 14.
+	dilationCapacityCoeff = 0.55
+)

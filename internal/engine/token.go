@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"islands/internal/exec"
+	"islands/internal/sim"
+)
+
+// execToken is the partition-wide execution token of a single-threaded
+// instance (H-Store style). When locking is disabled, every transaction —
+// local, subordinate, or 2PC completion — must own the token, so the
+// partition executes one transaction at a time. A participant of a
+// distributed transaction keeps the token from subordinate execution until
+// the coordinator's commit/abort arrives: the partition stalls, which is
+// exactly the distributed-transaction penalty the paper measures for
+// fine-grained shared-nothing configurations.
+//
+// Acquisition follows wait-die on the transaction timestamp, mirroring the
+// lock manager: requesters younger than the holder (or anyone queued) abort
+// and retry, so cross-partition waits can never form cycles.
+type execToken struct {
+	held     bool
+	holderTS uint64
+	waiters  []*tokenWaiter
+
+	Acquires uint64
+	Waits    uint64
+	Dies     uint64
+}
+
+type tokenWaiter struct {
+	ts      uint64
+	proc    *sim.Proc
+	granted bool
+}
+
+// Acquire obtains the token for transaction ts, or returns lock-style
+// wait-die abort via errAborted.
+func (t *execToken) Acquire(ctx *exec.Ctx, ts uint64) error {
+	t.Acquires++
+	if !t.held {
+		t.held = true
+		t.holderTS = ts
+		return nil
+	}
+	if t.holderTS == ts {
+		return nil // re-entrant for the same transaction
+	}
+	// Wait-die: wait only when strictly older than the holder and every
+	// queued waiter.
+	if ts > t.holderTS {
+		t.Dies++
+		return errAborted
+	}
+	for _, w := range t.waiters {
+		if ts > w.ts {
+			t.Dies++
+			return errAborted
+		}
+	}
+	t.Waits++
+	w := &tokenWaiter{ts: ts, proc: ctx.P}
+	t.waiters = append(t.waiters, w)
+	prev := ctx.Bucket(exec.BLock)
+	ctx.Block(func() {
+		for !w.granted {
+			ctx.P.Park()
+		}
+	})
+	ctx.Bucket(prev)
+	return nil
+}
+
+// TryAcquire takes the token for ts only if it is free (or already owned by
+// ts). Service threads use it so they never block the work queue behind a
+// busy partition.
+func (t *execToken) TryAcquire(ts uint64) bool {
+	if !t.held {
+		t.held = true
+		t.holderTS = ts
+		t.Acquires++
+		return true
+	}
+	return t.holderTS == ts
+}
+
+// ShouldDie applies the wait-die rule for a requester that found the token
+// busy: younger requesters (larger ts) must abort rather than queue.
+func (t *execToken) ShouldDie(ts uint64) bool {
+	if t.held && ts > t.holderTS {
+		return true
+	}
+	for _, w := range t.waiters {
+		if ts > w.ts {
+			return true
+		}
+	}
+	return false
+}
+
+// Release hands the token to the longest waiter, if any. Any thread may
+// release on behalf of the owning transaction (2PC control threads do).
+func (t *execToken) Release() {
+	if !t.held {
+		panic("engine: execToken release without hold")
+	}
+	if len(t.waiters) == 0 {
+		t.held = false
+		t.holderTS = 0
+		return
+	}
+	w := t.waiters[0]
+	t.waiters = t.waiters[1:]
+	t.holderTS = w.ts
+	w.granted = true
+	w.proc.Unpark()
+}

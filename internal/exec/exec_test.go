@@ -1,0 +1,199 @@
+package exec
+
+import (
+	"testing"
+
+	"islands/internal/mem"
+	"islands/internal/sim"
+	"islands/internal/topology"
+)
+
+func newTestCtx(k *sim.Kernel, p *sim.Proc, cpu *sim.Mutex) *Ctx {
+	m := mem.NewModel(topology.QuadSocket())
+	c := New(p, 0, m, cpu)
+	c.BD = &Breakdown{}
+	return c
+}
+
+func TestChargeBillsBucketAndBusy(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	k.Spawn("w", func(p *sim.Proc) {
+		c := newTestCtx(k, p, nil)
+		c.Bucket(BLog)
+		c.Charge(500)
+		if c.BD[BLog] != 500 {
+			t.Errorf("BLog = %v, want 500", c.BD[BLog])
+		}
+		if c.Mem.PerCore[0].BusyTime != 500 {
+			t.Errorf("BusyTime = %v, want 500", c.Mem.PerCore[0].BusyTime)
+		}
+		if p.Now() != 500 {
+			t.Errorf("Now = %v, want 500", p.Now())
+		}
+	})
+	k.Run()
+}
+
+func TestBucketSwitchReturnsPrevious(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	k.Spawn("w", func(p *sim.Proc) {
+		c := newTestCtx(k, p, nil)
+		prev := c.Bucket(BComm)
+		if prev != BExec {
+			t.Errorf("prev = %v, want BExec", prev)
+		}
+		c.Charge(10)
+		c.Bucket(prev)
+		c.Charge(20)
+		if c.BD[BComm] != 10 || c.BD[BExec] != 20 {
+			t.Errorf("breakdown = %v", c.BD)
+		}
+	})
+	k.Run()
+}
+
+func TestLineAccessBillsStall(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	k.Spawn("w", func(p *sim.Proc) {
+		c := newTestCtx(k, p, nil)
+		var l mem.Line
+		c.WriteLine(&l)
+		c.ReadLine(&l)
+		if c.BD[BExec] == 0 {
+			t.Error("line accesses billed nothing")
+		}
+		if p.Now() == 0 {
+			t.Error("line accesses advanced no time")
+		}
+	})
+	k.Run()
+}
+
+func TestCPUSharingSerializesThreads(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	cpu := &sim.Mutex{}
+	model := mem.NewModel(topology.QuadSocket())
+	var done []sim.Time
+	for i := 0; i < 2; i++ {
+		k.Spawn("w", func(p *sim.Proc) {
+			c := New(p, 0, model, cpu)
+			c.BD = &Breakdown{}
+			c.Schedule()
+			c.Charge(100)
+			c.Deschedule()
+			done = append(done, p.Now())
+		})
+	}
+	k.Run()
+	if len(done) != 2 || done[0] != 100 || done[1] != 200 {
+		t.Errorf("completions = %v, want [100 200]", done)
+	}
+}
+
+func TestSchedWaitBilledToBSched(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	cpu := &sim.Mutex{}
+	model := mem.NewModel(topology.QuadSocket())
+	var bd2 *Breakdown
+	k.Spawn("w1", func(p *sim.Proc) {
+		c := New(p, 0, model, cpu)
+		c.Schedule()
+		c.Charge(100)
+		c.Deschedule()
+	})
+	k.Spawn("w2", func(p *sim.Proc) {
+		c := New(p, 0, model, cpu)
+		c.BD = &Breakdown{}
+		bd2 = c.BD
+		c.Schedule() // waits 100 behind w1
+		c.Charge(10)
+		c.Deschedule()
+	})
+	k.Run()
+	if bd2[BSched] != 100 {
+		t.Errorf("BSched = %v, want 100", bd2[BSched])
+	}
+}
+
+func TestBlockReleasesCore(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	cpu := &sim.Mutex{}
+	model := mem.NewModel(topology.QuadSocket())
+	q := sim.NewQueue[int](k)
+	var order []string
+	k.Spawn("blocker", func(p *sim.Proc) {
+		c := New(p, 0, model, cpu)
+		c.Schedule()
+		c.Bucket(BComm)
+		c.BD = &Breakdown{}
+		c.Block(func() { q.Pop(p) }) // core released while waiting
+		order = append(order, "blocker")
+		if c.BD[BComm] != 50 {
+			t.Errorf("BComm wait = %v, want 50", c.BD[BComm])
+		}
+		c.Deschedule()
+	})
+	k.Spawn("other", func(p *sim.Proc) {
+		c := New(p, 0, model, cpu)
+		c.Schedule() // must not be stuck behind blocker
+		c.Charge(50)
+		order = append(order, "other")
+		q.Push(1)
+		c.Deschedule()
+	})
+	k.Run()
+	if len(order) != 2 || order[0] != "other" || order[1] != "blocker" {
+		t.Errorf("order = %v, want other before blocker", order)
+	}
+}
+
+func TestLockSimUncontendedFastPath(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	var mu sim.Mutex
+	k.Spawn("w", func(p *sim.Proc) {
+		c := newTestCtx(k, p, nil)
+		c.LockSim(&mu)
+		if !mu.HeldBy(p) {
+			t.Error("mutex not held after LockSim")
+		}
+		c.UnlockSim(&mu)
+	})
+	k.Run()
+}
+
+func TestUseResourceBillsCurrentBucket(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	disk := sim.NewResource(1)
+	k.Spawn("w", func(p *sim.Proc) {
+		c := newTestCtx(k, p, nil)
+		c.Bucket(BIO)
+		c.UseResource(disk, 5*sim.Millisecond)
+		if c.BD[BIO] != 5*sim.Millisecond {
+			t.Errorf("BIO = %v, want 5ms", c.BD[BIO])
+		}
+	})
+	k.Run()
+}
+
+func TestBreakdownAddTotal(t *testing.T) {
+	a := Breakdown{BExec: 10, BLog: 5}
+	b := Breakdown{BExec: 1, BComm: 2}
+	a.Add(&b)
+	if a[BExec] != 11 || a[BComm] != 2 || a.Total() != 18 {
+		t.Errorf("breakdown add wrong: %v total %v", a, a.Total())
+	}
+}
+
+func TestBucketString(t *testing.T) {
+	if BLog.String() != "logging" || Bucket(99).String() != "unknown" {
+		t.Error("bucket names wrong")
+	}
+}

@@ -1,0 +1,227 @@
+package harness
+
+import (
+	"fmt"
+
+	"islands/internal/core"
+	"islands/internal/exec"
+	"islands/internal/ipc"
+	"islands/internal/mem"
+	"islands/internal/sim"
+	"islands/internal/topology"
+	"islands/internal/workload"
+)
+
+// stdRows is the paper's default dataset: 240,000 rows (~60 MB).
+const stdRows = 240000
+
+// windows returns (warmup, measure) for the current mode.
+func windows(opt Options) (sim.Time, sim.Time) {
+	if opt.Quick {
+		return 500 * sim.Microsecond, 3 * sim.Millisecond
+	}
+	return 2 * sim.Millisecond, 20 * sim.Millisecond
+}
+
+// runMicro deploys `instances` over machine m and measures the
+// microbenchmark. tweak (optional) adjusts the config before building.
+func runMicro(m *topology.Machine, instances int, rows int64, mc workload.MicroConfig,
+	localOnly bool, opt Options, tweak func(*core.Config)) core.Measurement {
+
+	cfg := core.DefaultConfig(m, instances, rows)
+	cfg.LocalOnly = localOnly
+	cfg.Seed = opt.Seed
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	d := core.NewDeployment(cfg)
+	defer d.Close()
+	mc.Table = 1
+	mc.GlobalRows = rows
+	mc.Seed = opt.Seed + 1
+	d.Start(workload.NewMicro(mc, d.Part))
+	warmup, window := windows(opt)
+	return d.Run(warmup, window)
+}
+
+// runPayment deploys TPC-C Payment over the machine.
+func runPayment(m *topology.Machine, instances int, warehouses int, remotePct float64,
+	localOnly bool, opt Options, instanceCores [][]topology.CoreID) core.Measurement {
+
+	cfg := core.Config{
+		Machine:       m,
+		Instances:     instances,
+		Placement:     core.PlacementIslands,
+		InstanceCores: instanceCores,
+		Mechanism:     ipc.UnixSocket,
+		LocalOnly:     localOnly,
+		Seed:          opt.Seed,
+	}
+	for _, t := range workload.TPCCTableSet(warehouses) {
+		cfg.Tables = append(cfg.Tables, core.TableDecl{ID: t.ID, Name: t.Name, RowBytes: t.RowBytes, Rows: t.Rows})
+	}
+	d := core.NewDeployment(cfg)
+	defer d.Close()
+	src := workload.NewPayment(workload.TPCCConfig{
+		Warehouses: warehouses, RemotePct: remotePct, Seed: opt.Seed + 2,
+	}, d.Part)
+	d.Start(src)
+	warmup, window := windows(opt)
+	return d.Run(warmup, window)
+}
+
+// fig3: TPC-C Payment with 4 worker threads on the quad-socket machine,
+// varying thread placement: Spread / Group / Mix / OS.
+func runFig3(opt Options) *Result {
+	m := topology.QuadSocket()
+	seeds := 5
+	if opt.Quick {
+		seeds = 3
+	}
+	// With only 4 workers this experiment is cheap; always use the full
+	// window so the 20-30% placement gap is measured above the noise.
+	opt.Quick = false
+	// Enough warehouses that warehouse-row contention (which is placement-
+	// independent) does not mask the topology effect.
+	const fig3Warehouses = 16
+	placements := []struct {
+		name  string
+		cores []topology.CoreID
+	}{
+		{"spread", topology.SpreadPlacement(m, 4).Cores},
+		{"group", topology.GroupPlacement(m, 4, 0).Cores},
+		{"mix", topology.MixPlacement(m, 4, 2).Cores},
+	}
+	tab := NewTable("Payment throughput by placement", "KTps",
+		"placement", []string{"spread", "group", "mix", "os"}, "", []string{"mean", "stddev"})
+
+	for i, pl := range placements {
+		res := runPayment(m, 1, fig3Warehouses, 0.15, false, opt, [][]topology.CoreID{pl.cores})
+		tab.Set(i, 0, res.ThroughputTPS/1e3)
+	}
+	var rates []float64
+	for s := 0; s < seeds; s++ {
+		o := opt
+		o.Seed = opt.Seed + int64(s)*104729
+		pl := topology.OSPlacement(m, 4, randFor(o.Seed))
+		res := runPayment(m, 1, fig3Warehouses, 0.15, false, o, [][]topology.CoreID{pl.Cores})
+		rates = append(rates, res.ThroughputTPS/1e3)
+	}
+	mean, std := meanStd(rates)
+	tab.Set(3, 0, mean)
+	tab.Set(3, 1, std)
+
+	return &Result{
+		ID: "fig3", Title: "TPC-C Payment by thread placement (4 workers)", Ref: "Figure 3",
+		Notes: []string{
+			"paper: grouping all threads on one socket is 20-30% faster than spread/mix/OS",
+		},
+		Tables: []*Table{tab},
+	}
+}
+
+// fig6: message throughput of IPC mechanisms, same vs different socket.
+func runFig6(opt Options) *Result {
+	m := topology.QuadSocket()
+	rounds := 2000
+	if opt.Quick {
+		rounds = 300
+	}
+	mechs := ipc.Mechanisms()
+	rows := make([]string, len(mechs))
+	for i, mech := range mechs {
+		rows[i] = mech.String()
+	}
+	tab := NewTable("message throughput", "Kmsgs/s",
+		"mechanism", rows, "endpoint sockets", []string{"same", "different"})
+	for i, mech := range mechs {
+		tab.Set(i, 0, pingPongRate(m, mech, 0, 1, rounds)/1e3)
+		tab.Set(i, 1, pingPongRate(m, mech, 0, 23, rounds)/1e3)
+	}
+	return &Result{
+		ID: "fig6", Title: "IPC mechanism throughput", Ref: "Figure 6",
+		Notes:  []string{"unix domain sockets are the fastest; cross-socket is always slower"},
+		Tables: []*Table{tab},
+	}
+}
+
+func pingPongRate(m *topology.Machine, mech ipc.Mechanism, a, b topology.CoreID, rounds int) float64 {
+	k := sim.NewKernel()
+	defer k.Close()
+	model := mem.NewModel(m)
+	net := ipc.NewNetwork[int](k, m, mech)
+	ea, eb := net.NewEndpoint(a), net.NewEndpoint(b)
+	var end sim.Time
+	k.Spawn("a", func(p *sim.Proc) {
+		ctx := exec.New(p, a, model, nil)
+		for i := 0; i < rounds; i++ {
+			ea.Send(ctx, eb, i)
+			ea.Recv(ctx)
+		}
+		end = p.Now()
+	})
+	k.Spawn("b", func(p *sim.Proc) {
+		ctx := exec.New(p, b, model, nil)
+		for i := 0; i < rounds; i++ {
+			eb.Send(ctx, ea, eb.Recv(ctx))
+		}
+	})
+	k.Run()
+	return float64(2*rounds) / end.Seconds()
+}
+
+// fig7: TPC-C Payment, perfectly partitionable (all local): fine-grained
+// shared-nothing vs shared-everything.
+func runFig7(opt Options) *Result {
+	m := topology.QuadSocket()
+	fg := runPayment(m, 24, 24, 0, true, opt, nil)
+	se := runPayment(m, 1, 24, 0, true, opt, nil)
+	tab := NewTable("Payment throughput, local only", "KTps",
+		"config", []string{"24ISL (fine-grained SN)", "1ISL (shared-everything)"}, "", []string{"KTps", "vs SE"})
+	tab.Set(0, 0, fg.ThroughputTPS/1e3)
+	tab.Set(0, 1, fg.ThroughputTPS/se.ThroughputTPS)
+	tab.Set(1, 0, se.ThroughputTPS/1e3)
+	tab.Set(1, 1, 1)
+	return &Result{
+		ID: "fig7", Title: "TPC-C Payment, perfectly partitionable", Ref: "Figure 7",
+		Notes:  []string{"paper: fine-grained shared-nothing is ~4.5x shared-everything"},
+		Tables: []*Table{tab},
+	}
+}
+
+// fig8: microarchitectural profile of the read-only local microbenchmark
+// across instance sizes: IPC, stalled cycles, LLC sharing.
+func runFig8(opt Options) *Result {
+	m := topology.QuadSocket()
+	configs := []int{24, 12, 8, 4, 2, 1}
+	if opt.Quick {
+		configs = []int{24, 4, 1}
+	}
+	rows := make([]string, len(configs))
+	for i, n := range configs {
+		rows[i] = fmt.Sprintf("%dISL", n)
+	}
+	tab := NewTable("microarchitectural profile", "",
+		"config", rows, "", []string{"IPC", "stalled %", "LLC sharing %"})
+	for i, n := range configs {
+		res := runMicro(m, n, stdRows,
+			workload.MicroConfig{RowsPerTxn: 10}, true, opt, nil)
+		tab.Set(i, 0, res.IPC)
+		tab.Set(i, 1, res.StallFrac*100)
+		tab.Set(i, 2, res.LLCShareFrac*100)
+	}
+	return &Result{
+		ID: "fig8", Title: "Microarchitectural data per deployment", Ref: "Figure 8",
+		Notes: []string{
+			"paper: IPC is much higher for smaller instances; instances spanning sockets stall more",
+		},
+		Tables: []*Table{tab},
+	}
+}
+
+func init() {
+	register(Experiment{ID: "fig3", Title: "TPC-C Payment by thread placement", Ref: "Figure 3", Run: runFig3})
+	register(Experiment{ID: "fig6", Title: "IPC mechanism throughput", Ref: "Figure 6", Run: runFig6})
+	register(Experiment{ID: "fig7", Title: "TPC-C Payment, perfectly partitionable", Ref: "Figure 7", Run: runFig7})
+	register(Experiment{ID: "fig8", Title: "Microarchitectural profile", Ref: "Figure 8", Run: runFig8})
+}

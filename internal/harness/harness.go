@@ -1,0 +1,192 @@
+// Package harness reproduces every table and figure of the paper's
+// evaluation. Each experiment is registered under the paper's figure/table
+// id, runs the corresponding workload over the corresponding deployments,
+// and returns text tables whose rows/series mirror what the paper plots.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Options tune an experiment run.
+type Options struct {
+	// Quick shrinks sweeps and windows for CI and go test; the full mode
+	// reproduces every point of the paper's charts.
+	Quick bool
+	// Seed perturbs workloads and OS placements.
+	Seed int64
+}
+
+// Table is one printable result grid.
+type Table struct {
+	Name    string
+	Unit    string
+	ColHead string // label of the column dimension, e.g. "% multisite"
+	Cols    []string
+	RowHead string // label of the row dimension, e.g. "config"
+	Rows    []string
+	Values  [][]float64 // [row][col]
+}
+
+// Result is an experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Ref    string // the paper's figure/table
+	Notes  []string
+	Tables []*Table
+}
+
+// Experiment is a registered reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Ref   string
+	Run   func(opt Options) *Result
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in registration order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment ids, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for _, e := range registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// NewTable builds an empty table with the given axes.
+func NewTable(name, unit, rowHead string, rows []string, colHead string, cols []string) *Table {
+	vals := make([][]float64, len(rows))
+	for i := range vals {
+		vals[i] = make([]float64, len(cols))
+	}
+	return &Table{
+		Name: name, Unit: unit,
+		RowHead: rowHead, Rows: rows,
+		ColHead: colHead, Cols: cols,
+		Values: vals,
+	}
+}
+
+// Set stores a cell.
+func (t *Table) Set(row, col int, v float64) { t.Values[row][col] = v }
+
+// Get reads a cell.
+func (t *Table) Get(row, col int) float64 { return t.Values[row][col] }
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", t.Name)
+	if t.Unit != "" {
+		fmt.Fprintf(&b, " [%s]", t.Unit)
+	}
+	b.WriteByte('\n')
+
+	head := t.RowHead
+	if head == "" {
+		head = ""
+	}
+	width := len(head)
+	for _, r := range t.Rows {
+		if len(r) > width {
+			width = len(r)
+		}
+	}
+	colw := make([]int, len(t.Cols))
+	for j, c := range t.Cols {
+		colw[j] = len(c)
+		for i := range t.Rows {
+			if w := len(formatCell(t.Values[i][j])); w > colw[j] {
+				colw[j] = w
+			}
+		}
+	}
+	fmt.Fprintf(&b, "  %-*s", width, head)
+	for j, c := range t.Cols {
+		fmt.Fprintf(&b, "  %*s", colw[j], c)
+	}
+	b.WriteByte('\n')
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "  %-*s", width, r)
+		for j := range t.Cols {
+			fmt.Fprintf(&b, "  %*s", colw[j], formatCell(t.Values[i][j]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatCell(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Format renders the whole result.
+func (r *Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s (%s) ==\n", r.ID, r.Title, r.Ref)
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "   note: %s\n", n)
+	}
+	for _, t := range r.Tables {
+		b.WriteByte('\n')
+		b.WriteString(t.Format())
+	}
+	return b.String()
+}
+
+// Find returns a table by name (tests).
+func (r *Result) Find(name string) *Table {
+	for _, t := range r.Tables {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// randFor builds a deterministic RNG for a seed (OS placements, variance
+// estimation).
+func randFor(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

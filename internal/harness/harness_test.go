@@ -1,0 +1,282 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+var quick = Options{Quick: true, Seed: 7}
+
+func runExp(t *testing.T, id string) *Result {
+	t.Helper()
+	e, ok := Get(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	res := e.Run(quick)
+	if res.ID != id {
+		t.Fatalf("result id %s, want %s", res.ID, id)
+	}
+	return res
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig2", "table1", "fig3", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14"}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if len(All()) < len(want) {
+		t.Errorf("registry has %d experiments, want >= %d", len(All()), len(want))
+	}
+	ids := IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Error("IDs() not sorted")
+		}
+	}
+}
+
+func TestFig2GroupedBeatsSpread(t *testing.T) {
+	t.Parallel()
+	res := runExp(t, "fig2")
+	tab := res.Tables[0]
+	spread, grouped, os := tab.Get(0, 0), tab.Get(1, 0), tab.Get(2, 0)
+	if !(grouped > os && os >= spread*0.8) {
+		t.Errorf("want grouped > os >= ~spread; got spread=%.0f grouped=%.0f os=%.0f", spread, grouped, os)
+	}
+	if grouped < 2*spread {
+		t.Errorf("grouped (%.0f) should be >= 2x spread (%.0f)", grouped, spread)
+	}
+}
+
+func TestTable1SpeedupLadder(t *testing.T) {
+	t.Parallel()
+	res := runExp(t, "table1")
+	tab := res.Tables[0]
+	perSocketSpeedup := tab.Get(1, 2)
+	perCoreSpeedup := tab.Get(2, 2)
+	// Paper: 18.5x and 516.8x. Accept generous bands around the ladder.
+	if perSocketSpeedup < 8 || perSocketSpeedup > 40 {
+		t.Errorf("per-socket speedup = %.1f, want ~18.5", perSocketSpeedup)
+	}
+	if perCoreSpeedup < 200 || perCoreSpeedup > 900 {
+		t.Errorf("per-core speedup = %.1f, want ~517", perCoreSpeedup)
+	}
+	if perCoreSpeedup < 5*perSocketSpeedup {
+		t.Error("per-core should dwarf per-socket")
+	}
+}
+
+func TestFig3GroupWins(t *testing.T) {
+	t.Parallel()
+	res := runExp(t, "fig3")
+	tab := res.Tables[0]
+	spread, group := tab.Get(0, 0), tab.Get(1, 0)
+	if group <= spread {
+		t.Errorf("group (%.1f) should beat spread (%.1f)", group, spread)
+	}
+	gain := group / spread
+	if gain < 1.1 || gain > 1.6 {
+		t.Errorf("group/spread = %.2f, paper reports 1.2-1.3", gain)
+	}
+}
+
+func TestFig6UnixFastestAndCrossSlower(t *testing.T) {
+	t.Parallel()
+	res := runExp(t, "fig6")
+	tab := res.Tables[0]
+	unixRow := -1
+	for i, r := range tab.Rows {
+		if r == "unix" {
+			unixRow = i
+		}
+	}
+	for i := range tab.Rows {
+		if i != unixRow && tab.Get(i, 0) >= tab.Get(unixRow, 0) {
+			t.Errorf("%s same-socket rate >= unix", tab.Rows[i])
+		}
+		if tab.Get(i, 1) >= tab.Get(i, 0) {
+			t.Errorf("%s cross-socket not slower", tab.Rows[i])
+		}
+	}
+}
+
+func TestFig7FineGrainedWinsBig(t *testing.T) {
+	t.Parallel()
+	res := runExp(t, "fig7")
+	tab := res.Tables[0]
+	ratio := tab.Get(0, 1)
+	if ratio < 3 || ratio > 7 {
+		t.Errorf("FG/SE = %.2f, paper reports ~4.5", ratio)
+	}
+}
+
+func TestFig8IPCLadder(t *testing.T) {
+	t.Parallel()
+	res := runExp(t, "fig8")
+	tab := res.Tables[0] // rows: 24ISL, 4ISL, 1ISL in quick mode
+	ipc24, ipc1 := tab.Get(0, 0), tab.Get(2, 0)
+	if ipc24 <= ipc1*1.5 {
+		t.Errorf("IPC(24ISL)=%.2f should be well above IPC(1ISL)=%.2f", ipc24, ipc1)
+	}
+	stall24, stall1 := tab.Get(0, 1), tab.Get(2, 1)
+	if stall1 <= stall24 {
+		t.Errorf("stalls: 1ISL (%.1f%%) should exceed 24ISL (%.1f%%)", stall1, stall24)
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	t.Parallel()
+	res := runExp(t, "fig9")
+	for _, tab := range res.Tables {
+		last := len(tab.Cols) - 1
+		fg0, fgN := tab.Get(0, 0), tab.Get(0, last)
+		se0, seN := tab.Get(2, 0), tab.Get(2, last)
+		if fg0 <= se0 {
+			t.Errorf("%s: FG at 0%% (%.0f) should beat SE (%.0f)", tab.Name, fg0, se0)
+		}
+		if fgN >= fg0/2 {
+			t.Errorf("%s: FG should degrade sharply: %.0f -> %.0f", tab.Name, fg0, fgN)
+		}
+		if seN < se0*0.9 || seN > se0*1.1 {
+			t.Errorf("%s: SE should stay flat: %.0f -> %.0f", tab.Name, se0, seN)
+		}
+		if fgN >= seN {
+			t.Errorf("%s: at 100%% multisite SE (%.0f) should beat FG (%.0f)", tab.Name, seN, fgN)
+		}
+	}
+}
+
+func TestFig10Shapes(t *testing.T) {
+	t.Parallel()
+	res := runExp(t, "fig10")
+	localRead := res.Find("local read-only")
+	// Costs grow with rows for every config.
+	for i := range localRead.Rows {
+		if localRead.Get(i, 0) >= localRead.Get(i, len(localRead.Cols)-1) {
+			t.Errorf("local read: config %s cost did not grow with rows", localRead.Rows[i])
+		}
+	}
+	// Local: 24ISL (no locking) is the cheapest, roughly 40% below 1ISL.
+	if r := localRead.Get(0, 1) / localRead.Get(2, 1); r > 0.75 {
+		t.Errorf("24ISL local cost should be well below 1ISL: ratio %.2f", r)
+	}
+	// Multisite read: cost decreases with instance size (fewer participants)
+	// for shared-nothing configs.
+	msRead := res.Find("multisite read-only")
+	if msRead.Get(0, 1) <= msRead.Get(1, 1) {
+		t.Errorf("multisite read: 24ISL (%.0f) should cost more than 4ISL (%.0f)",
+			msRead.Get(0, 1), msRead.Get(1, 1))
+	}
+	// Multisite update: distributed configs cost more than shared-everything.
+	msUpd := res.Find("multisite update")
+	if msUpd.Get(0, 1) <= msUpd.Get(2, 1) || msUpd.Get(1, 1) <= msUpd.Get(2, 1) {
+		t.Error("multisite update: distributed configs should cost more than SE")
+	}
+}
+
+func TestFig11CommunicationGrows(t *testing.T) {
+	t.Parallel()
+	res := runExp(t, "fig11")
+	for _, tab := range res.Tables {
+		commRow := -1
+		logRow := -1
+		for i, r := range tab.Rows {
+			switch r {
+			case "communication":
+				commRow = i
+			case "logging":
+				logRow = i
+			}
+		}
+		if tab.Get(commRow, 0) != 0 {
+			t.Errorf("%s: communication at 0%% multisite should be zero", tab.Name)
+		}
+		if tab.Get(commRow, 2) <= tab.Get(commRow, 1) {
+			t.Errorf("%s: communication should grow with multisite fraction", tab.Name)
+		}
+		if strings.Contains(tab.Name, "updating") {
+			if tab.Get(logRow, 2) <= tab.Get(logRow, 0) {
+				t.Errorf("update: logging should grow with multisite fraction")
+			}
+		} else if tab.Get(logRow, 0) != 0 {
+			t.Error("read-only workload should not log")
+		}
+	}
+}
+
+func TestFig12SEScalesWorst(t *testing.T) {
+	t.Parallel()
+	res := runExp(t, "fig12")
+	for _, tab := range res.Tables {
+		lastCore := len(tab.Cols) - 2 // last core-count column (before QPI/IMC)
+		fgScale := tab.Get(0, lastCore) / tab.Get(0, 0)
+		seScale := tab.Get(2, lastCore) / tab.Get(2, 0)
+		if seScale >= fgScale {
+			t.Errorf("%s: SE scaling (%.2fx) should trail FG (%.2fx)", tab.Name, seScale, fgScale)
+		}
+		// SE is the least NUMA-friendly: highest QPI/IMC.
+		qpiCol := len(tab.Cols) - 1
+		if tab.Get(2, qpiCol) <= tab.Get(0, qpiCol) {
+			t.Errorf("%s: SE QPI/IMC should exceed FG", tab.Name)
+		}
+	}
+}
+
+func TestFig13SkewCollapsesTheRightConfigs(t *testing.T) {
+	t.Parallel()
+	res := runExp(t, "fig13")
+	// read-only, 20% multisite: 24ISL collapses at s=1, 4ISL holds.
+	t20 := res.Find("read-only, 20% multisite")
+	lastS := len(t20.Cols) - 1
+	if t20.Get(0, lastS) >= t20.Get(0, 0)/2 {
+		t.Errorf("24ISL should collapse under skew: %.0f -> %.0f", t20.Get(0, 0), t20.Get(0, lastS))
+	}
+	if t20.Get(1, lastS) < t20.Get(1, 0)*0.7 {
+		t.Errorf("4ISL should be robust to skew: %.0f -> %.0f", t20.Get(1, 0), t20.Get(1, lastS))
+	}
+	// update, 0% multisite: SE suffers from contention under heavy skew.
+	u0 := res.Find("update, 0% multisite")
+	if u0.Get(2, lastS) >= u0.Get(2, 0)/2 {
+		t.Errorf("SE updates should collapse under skew: %.0f -> %.0f", u0.Get(2, 0), u0.Get(2, lastS))
+	}
+}
+
+func TestFig14DiskCliff(t *testing.T) {
+	t.Parallel()
+	res := runExp(t, "fig14")
+	for _, tab := range res.Tables {
+		last := len(tab.Cols) - 1
+		for i := range tab.Rows {
+			inMem := tab.Get(i, 0)
+			disk := tab.Get(i, last)
+			if disk >= inMem/20 {
+				t.Errorf("%s %s: expected disk cliff: %.1f -> %.1f KTps",
+					tab.Name, tab.Rows[i], inMem, disk)
+			}
+			if disk <= 0 {
+				t.Errorf("%s %s: disk-bound run committed nothing", tab.Name, tab.Rows[i])
+			}
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := NewTable("demo", "KTps", "config", []string{"a", "bb"}, "x", []string{"c1", "c2"})
+	tab.Set(0, 0, 1234567)
+	tab.Set(1, 1, 0.5)
+	out := tab.Format()
+	if !strings.Contains(out, "demo [KTps]") || !strings.Contains(out, "1.23M") {
+		t.Errorf("format output unexpected:\n%s", out)
+	}
+	res := &Result{ID: "x", Title: "T", Ref: "Figure X", Notes: []string{"n"}, Tables: []*Table{tab}}
+	if !strings.Contains(res.Format(), "== x: T (Figure X) ==") {
+		t.Error("result header missing")
+	}
+	if res.Find("demo") != tab || res.Find("nope") != nil {
+		t.Error("Find broken")
+	}
+}

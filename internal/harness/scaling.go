@@ -1,0 +1,208 @@
+package harness
+
+import (
+	"fmt"
+
+	"islands/internal/core"
+	"islands/internal/sim"
+	"islands/internal/topology"
+	"islands/internal/workload"
+)
+
+// fig12: throughput as hardware parallelism grows, on both machines, for
+// fine-grained (per-core), coarse-grained (per-socket) and shared-everything
+// deployments at 20% multisite.
+func runFig12(opt Options) *Result {
+	res := &Result{
+		ID: "fig12", Title: "Scaling with active cores (20% multisite)", Ref: "Figure 12",
+		Notes: []string{
+			"paper: FG/CG scale linearly; SE scales sublinearly, worst on the octo-socket",
+			"QPI/IMC column reproduces the paper's NUMA-friendliness ratio at full core count",
+		},
+	}
+	type machineCase struct {
+		m     *topology.Machine
+		steps []int
+	}
+	cases := []machineCase{
+		{topology.QuadSocket(), []int{6, 12, 18, 24}},
+		{topology.OctoSocket(), []int{20, 40, 60, 80}},
+	}
+	if opt.Quick {
+		cases[0].steps = []int{6, 24}
+		cases[1].steps = []int{20, 80}
+	}
+	for _, write := range []bool{false, true} {
+		kind := "read-only"
+		if write {
+			kind = "update"
+		}
+		for _, mc := range cases {
+			cols := make([]string, len(mc.steps)+1)
+			for j, s := range mc.steps {
+				cols[j] = fmt.Sprintf("%d", s)
+			}
+			cols[len(mc.steps)] = "QPI/IMC"
+			tab := NewTable(fmt.Sprintf("%s, %s", kind, mc.m.Name), "KTps",
+				"config", []string{"FG", "CG", "SE"}, "# cores", cols)
+			for i, cfgKind := range []string{"FG", "CG", "SE"} {
+				for j, active := range mc.steps {
+					instances := 1
+					switch cfgKind {
+					case "FG":
+						instances = active
+					case "CG":
+						instances = active / mc.m.CoresPerSocket
+					}
+					mres := runMicro(mc.m, instances, stdRows, workload.MicroConfig{
+						RowsPerTxn: 10, Write: write, PctMultisite: 0.2,
+					}, false, opt, func(c *core.Config) { c.ActiveCores = active })
+					tab.Set(i, j, mres.ThroughputTPS/1e3)
+					if j == len(mc.steps)-1 {
+						tab.Set(i, len(mc.steps), mres.QPIPerIMC)
+					}
+				}
+			}
+			res.Tables = append(res.Tables, tab)
+		}
+	}
+	return res
+}
+
+// fig13: tolerance to skew: Zipfian row selection with varying skew factor,
+// at 0/20/50% multisite, reads and updates of 2 rows.
+func runFig13(opt Options) *Result {
+	m := topology.QuadSocket()
+	skews := []float64{0, 0.25, 0.5, 0.75, 1.0}
+	pcts := []float64{0, 0.2, 0.5}
+	if opt.Quick {
+		skews = []float64{0, 0.5, 1.0}
+		pcts = []float64{0, 0.2}
+	}
+	configs := []int{24, 4, 1}
+	rows := make([]string, len(configs))
+	for i, n := range configs {
+		rows[i] = fmt.Sprintf("%dISL", n)
+	}
+	cols := make([]string, len(skews))
+	for j, s := range skews {
+		cols[j] = fmt.Sprintf("s=%.2f", s)
+	}
+
+	res := &Result{
+		ID: "fig13", Title: "Throughput under skewed access", Ref: "Figure 13",
+		Notes: []string{
+			"paper: skew collapses fine-grained SN (hot instance) and hurts SE under updates; coarse islands cope best",
+			"p=0% runs use the single-thread optimization, as the paper does for local-only workloads",
+		},
+	}
+	for _, write := range []bool{false, true} {
+		kind := "read-only"
+		if write {
+			kind = "update"
+		}
+		for _, p := range pcts {
+			tab := NewTable(fmt.Sprintf("%s, %.0f%% multisite", kind, p*100), "KTps",
+				"config", rows, "skew", cols)
+			for i, n := range configs {
+				for j, s := range skews {
+					mres := runMicro(m, n, stdRows, workload.MicroConfig{
+						RowsPerTxn: 2, Write: write, PctMultisite: p, ZipfS: s,
+					}, p == 0, opt, nil)
+					tab.Set(i, j, mres.ThroughputTPS/1e3)
+				}
+			}
+			res.Tables = append(res.Tables, tab)
+		}
+	}
+	return res
+}
+
+// fig14: growing database size from cache-resident to disk-resident.
+// Scaled by 1/100 in rows and buffer pool (and 1/10 in LLC) to preserve the
+// dataset/LLC and dataset/buffer-pool crossovers at tractable sizes; column
+// labels keep the paper's units.
+func runFig14(opt Options) *Result {
+	// Paper: 0.24M..120M rows, 12 GB buffer pool. Scaled: /100.
+	sizes := []int64{2400, 24000, 240000, 720000, 1200000}
+	labels := []string{"0.24M", "2.4M", "24M", "72M", "120M"}
+	if opt.Quick {
+		sizes = []int64{2400, 240000, 720000}
+		labels = []string{"0.24M", "24M", "72M"}
+	}
+	// 12 GB / 250 B = 48M rows; /100 = 480000 rows of buffer pool.
+	const bpRows = 480000
+	bpPages := int(bpRows / 32)
+
+	machine := topology.QuadSocket()
+	machine.LLCBytes /= 10 // keep dataset-vs-LLC crossover after 1/100 row scaling
+
+	configs := []int{24, 4, 1}
+	rows := make([]string, len(configs))
+	for i, n := range configs {
+		rows[i] = fmt.Sprintf("%dISL", n)
+	}
+
+	res := &Result{
+		ID: "fig14", Title: "Throughput vs database size (2 rows/txn)", Ref: "Figure 14",
+		Notes: []string{
+			"rows and buffer pool scaled 1/100, LLC 1/10: crossovers preserved, labels in paper units",
+			"beyond the buffer pool (rightmost points) throughput collapses to disk speed",
+		},
+	}
+	for _, write := range []bool{false, true} {
+		kind := "read-only"
+		if write {
+			kind = "update"
+		}
+		for _, p := range []float64{0, 0.2} {
+			tab := NewTable(fmt.Sprintf("%s, %.0f%% multisite", kind, p*100), "KTps",
+				"config", rows, "rows (paper scale)", labels)
+			for i, n := range configs {
+				for j, size := range sizes {
+					mres := runFig14Cell(machine, n, size, write, p, bpPages, opt)
+					tab.Set(i, j, mres.ThroughputTPS/1e3)
+				}
+			}
+			res.Tables = append(res.Tables, tab)
+		}
+	}
+	return res
+}
+
+// runFig14Cell measures one Figure 14 configuration. Buffer pools are
+// prewarmed (steady state); datasets that exceed the pool are disk-bound at
+// a few hundred transactions per second, so they get a long (but cheap —
+// events are rare) virtual window.
+func runFig14Cell(machine *topology.Machine, n int, size int64, write bool, p float64,
+	bpPages int, opt Options) core.Measurement {
+
+	diskBound := size/32 > int64(bpPages)
+	cfg := core.DefaultConfig(machine, n, size)
+	cfg.LocalOnly = p == 0
+	cfg.Seed = opt.Seed
+	cfg.Disk = core.DiskHDD
+	cfg.BufferPoolPagesTotal = bpPages
+	cfg.Prewarm = true
+	d := core.NewDeployment(cfg)
+	defer d.Close()
+	d.Start(workload.NewMicro(workload.MicroConfig{
+		Table: 1, GlobalRows: size, RowsPerTxn: 2, Write: write, PctMultisite: p,
+		Seed: opt.Seed + 1,
+	}, d.Part))
+	warmup, window := windows(opt)
+	if diskBound {
+		// Disk-bound runs need windows covering many ~5.5ms I/Os.
+		warmup, window = 200*sim.Millisecond, 3*sim.Second
+		if opt.Quick {
+			warmup, window = 100*sim.Millisecond, 1*sim.Second
+		}
+	}
+	return d.Run(warmup, window)
+}
+
+func init() {
+	register(Experiment{ID: "fig12", Title: "Scaling with active cores", Ref: "Figure 12", Run: runFig12})
+	register(Experiment{ID: "fig13", Title: "Throughput under skewed access", Ref: "Figure 13", Run: runFig13})
+	register(Experiment{ID: "fig14", Title: "Throughput vs database size", Ref: "Figure 14", Run: runFig14})
+}

@@ -1,0 +1,170 @@
+package harness
+
+import (
+	"fmt"
+
+	"islands/internal/exec"
+	"islands/internal/topology"
+	"islands/internal/workload"
+)
+
+// fig9: throughput as the percentage of multisite transactions grows, for
+// the read-10 and update-10 microbenchmarks over 24ISL / 4ISL / 1ISL.
+func runFig9(opt Options) *Result {
+	m := topology.QuadSocket()
+	pcts := []float64{0, 0.1, 0.2, 0.4, 0.6, 0.8, 1}
+	if opt.Quick {
+		pcts = []float64{0, 0.2, 1}
+	}
+	configs := []int{24, 4, 1}
+
+	cols := make([]string, len(pcts))
+	for j, p := range pcts {
+		cols[j] = fmt.Sprintf("%.0f%%", p*100)
+	}
+	rows := make([]string, len(configs))
+	for i, n := range configs {
+		rows[i] = fmt.Sprintf("%dISL", n)
+	}
+
+	res := &Result{
+		ID: "fig9", Title: "Throughput vs fraction of multisite transactions", Ref: "Figure 9",
+		Notes: []string{
+			"paper: shared-everything stays flat; shared-nothing degrades, fine-grained most",
+			"locking stays on in all configurations: distributed transactions make it mandatory (Sec 7.1.2)",
+		},
+	}
+	for _, write := range []bool{false, true} {
+		name := "retrieving 10 rows"
+		if write {
+			name = "updating 10 rows"
+		}
+		tab := NewTable(name, "KTps", "config", rows, "% multisite", cols)
+		for i, n := range configs {
+			for j, p := range pcts {
+				mres := runMicro(m, n, stdRows, workload.MicroConfig{
+					RowsPerTxn: 10, Write: write, PctMultisite: p,
+				}, false, opt, nil)
+				tab.Set(i, j, mres.ThroughputTPS/1e3)
+			}
+		}
+		res.Tables = append(res.Tables, tab)
+	}
+	return res
+}
+
+// fig10: cost per transaction as the number of rows grows: local and
+// multisite, read-only and update, for six configurations.
+func runFig10(opt Options) *Result {
+	m := topology.QuadSocket()
+	rowsPerTxn := []int{2, 4, 8, 12, 18, 24, 30, 40, 60, 80, 100}
+	configs := []int{24, 12, 8, 4, 2, 1}
+	if opt.Quick {
+		rowsPerTxn = []int{2, 10, 40}
+		configs = []int{24, 4, 1}
+	}
+	cols := make([]string, len(rowsPerTxn))
+	for j, r := range rowsPerTxn {
+		cols[j] = fmt.Sprintf("%d", r)
+	}
+	rowLabels := make([]string, len(configs))
+	for i, n := range configs {
+		rowLabels[i] = fmt.Sprintf("%dISL", n)
+	}
+
+	res := &Result{
+		ID: "fig10", Title: "Cost per transaction vs rows accessed", Ref: "Figure 10",
+		Notes: []string{
+			"cost = active cores x window / committed transactions, as the paper reports it",
+			"local charts run the single-thread optimization on 24ISL (no locking/latching)",
+		},
+	}
+	type variant struct {
+		name      string
+		write     bool
+		multisite bool
+	}
+	variants := []variant{
+		{"local read-only", false, false},
+		{"multisite read-only", false, true},
+		{"local update", true, false},
+		{"multisite update", true, true},
+	}
+	for _, v := range variants {
+		tab := NewTable(v.name, "us/txn", "config", rowLabels, "rows", cols)
+		for i, n := range configs {
+			for j, r := range rowsPerTxn {
+				pct := 0.0
+				if v.multisite {
+					pct = 1.0
+				}
+				mres := runMicro(m, n, stdRows, workload.MicroConfig{
+					RowsPerTxn: r, Write: v.write, PctMultisite: pct,
+				}, !v.multisite, opt, nil)
+				tab.Set(i, j, float64(mres.CostPerTxn(m.NumCores()))/1e3)
+			}
+		}
+		res.Tables = append(res.Tables, tab)
+	}
+	return res
+}
+
+// fig11: time breakdown per transaction for the 4-row microbenchmarks on
+// 4ISL at 0/50/100% multisite.
+func runFig11(opt Options) *Result {
+	m := topology.QuadSocket()
+	pcts := []float64{0, 0.5, 1}
+	buckets := []struct {
+		name string
+		ids  []exec.Bucket
+	}{
+		{"xct execution", []exec.Bucket{exec.BExec, exec.BIO}},
+		{"xct management", []exec.Bucket{exec.BXct, exec.BSched}},
+		{"communication", []exec.Bucket{exec.BComm}},
+		{"locking", []exec.Bucket{exec.BLock, exec.BLatch}},
+		{"logging", []exec.Bucket{exec.BLog}},
+	}
+	rowLabels := make([]string, len(buckets))
+	for i, b := range buckets {
+		rowLabels[i] = b.name
+	}
+	cols := make([]string, len(pcts))
+	for j, p := range pcts {
+		cols[j] = fmt.Sprintf("%.0f%%", p*100)
+	}
+
+	res := &Result{
+		ID: "fig11", Title: "Time breakdown per transaction (4ISL, 4 rows)", Ref: "Figure 11",
+		Notes: []string{
+			"paper: communication dominates distributed read-only; updates split between communication and logging",
+		},
+	}
+	for _, write := range []bool{false, true} {
+		name := "retrieving 4 rows"
+		if write {
+			name = "updating 4 rows"
+		}
+		tab := NewTable(name, "us/txn", "component", rowLabels, "% multisite", cols)
+		for j, p := range pcts {
+			mres := runMicro(m, 4, stdRows, workload.MicroConfig{
+				RowsPerTxn: 4, Write: write, PctMultisite: p,
+			}, false, opt, nil)
+			bd := mres.BreakdownPerTxn()
+			for i, b := range buckets {
+				var sum float64
+				for _, id := range b.ids {
+					sum += float64(bd[id])
+				}
+				tab.Set(i, j, sum/1e3)
+			}
+		}
+		res.Tables = append(res.Tables, tab)
+	}
+	return res
+}
+
+func init() {
+	register(Experiment{ID: "fig9", Title: "Throughput vs % multisite transactions", Ref: "Figure 9", Run: runFig9})
+	register(Experiment{ID: "fig10", Title: "Cost per transaction vs rows accessed", Ref: "Figure 10", Run: runFig10})
+	register(Experiment{ID: "fig11", Title: "Per-transaction time breakdown", Ref: "Figure 11", Run: runFig11})
+}

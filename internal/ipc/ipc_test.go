@@ -1,0 +1,161 @@
+package ipc
+
+import (
+	"testing"
+
+	"islands/internal/exec"
+	"islands/internal/mem"
+	"islands/internal/sim"
+	"islands/internal/topology"
+)
+
+// pingPong measures messages/second of a two-endpoint ping-pong for a
+// mechanism with endpoints on the given cores.
+func pingPong(t *testing.T, m Mechanism, coreA, coreB topology.CoreID, rounds int) float64 {
+	t.Helper()
+	k := sim.NewKernel()
+	defer k.Close()
+	topo := topology.QuadSocket()
+	model := mem.NewModel(topo)
+	net := NewNetwork[int](k, topo, m)
+	a := net.NewEndpoint(coreA)
+	b := net.NewEndpoint(coreB)
+	var end sim.Time
+	k.Spawn("a", func(p *sim.Proc) {
+		ctx := exec.New(p, coreA, model, nil)
+		for i := 0; i < rounds; i++ {
+			a.Send(ctx, b, i)
+			a.Recv(ctx)
+		}
+		end = p.Now()
+	})
+	k.Spawn("b", func(p *sim.Proc) {
+		ctx := exec.New(p, coreB, model, nil)
+		for i := 0; i < rounds; i++ {
+			v := b.Recv(ctx)
+			b.Send(ctx, a, v)
+		}
+	})
+	k.Run()
+	msgs := float64(2 * rounds)
+	return msgs / end.Seconds()
+}
+
+func TestUnixSocketsFastest(t *testing.T) {
+	rates := map[Mechanism]float64{}
+	for _, m := range Mechanisms() {
+		rates[m] = pingPong(t, m, 0, 1, 200)
+	}
+	for _, m := range []Mechanism{FIFO, PosixQueue, Pipe, TCPSocket} {
+		if rates[UnixSocket] <= rates[m] {
+			t.Errorf("unix (%f) not faster than %v (%f)", rates[UnixSocket], m, rates[m])
+		}
+	}
+	if rates[TCPSocket] >= rates[Pipe] {
+		t.Error("TCP should be the slowest mechanism")
+	}
+}
+
+func TestCrossSocketSlower(t *testing.T) {
+	for _, m := range Mechanisms() {
+		same := pingPong(t, m, 0, 1, 200)  // both socket 0
+		diff := pingPong(t, m, 0, 23, 200) // sockets 0 and 3
+		if same <= diff {
+			t.Errorf("%v: same-socket %f msgs/s not faster than cross-socket %f", m, same, diff)
+		}
+	}
+}
+
+func TestUnixSocketThroughputCalibration(t *testing.T) {
+	// Figure 6 reports ~60-65K msgs/s for unix sockets in the same socket
+	// and ~40-50K across sockets. Accept a generous band.
+	same := pingPong(t, UnixSocket, 0, 1, 500)
+	diff := pingPong(t, UnixSocket, 0, 23, 500)
+	if same < 55e3 || same > 72e3 {
+		t.Errorf("same-socket unix rate = %.0f msgs/s, want ~63K", same)
+	}
+	if diff < 38e3 || diff > 52e3 {
+		t.Errorf("cross-socket unix rate = %.0f msgs/s, want ~45K", diff)
+	}
+}
+
+func TestSendChargesSenderAndBillsBComm(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	topo := topology.QuadSocket()
+	model := mem.NewModel(topo)
+	net := NewNetwork[string](k, topo, UnixSocket)
+	a := net.NewEndpoint(0)
+	b := net.NewEndpoint(6)
+	k.Spawn("s", func(p *sim.Proc) {
+		ctx := exec.New(p, 0, model, nil)
+		ctx.BD = &exec.Breakdown{}
+		a.Send(ctx, b, "x")
+		if ctx.BD[exec.BComm] != net.Costs().SendCPU {
+			t.Errorf("BComm = %v, want %v", ctx.BD[exec.BComm], net.Costs().SendCPU)
+		}
+	})
+	k.Run()
+	if net.Messages != 1 || net.CrossSocket != 1 {
+		t.Errorf("Messages=%d CrossSocket=%d", net.Messages, net.CrossSocket)
+	}
+}
+
+func TestDeliveryDelayedByWire(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	topo := topology.QuadSocket()
+	model := mem.NewModel(topo)
+	net := NewNetwork[int](k, topo, UnixSocket)
+	a := net.NewEndpoint(0)
+	b := net.NewEndpoint(1)
+	var recvAt sim.Time
+	k.Spawn("recv", func(p *sim.Proc) {
+		ctx := exec.New(p, 1, model, nil)
+		b.Recv(ctx)
+		recvAt = p.Now()
+	})
+	k.Spawn("send", func(p *sim.Proc) {
+		ctx := exec.New(p, 0, model, nil)
+		a.Send(ctx, b, 7)
+	})
+	k.Run()
+	c := net.Costs()
+	want := c.SendCPU + c.WireSameSocket + c.RecvCPU
+	if recvAt != want {
+		t.Errorf("receive completed at %v, want %v", recvAt, want)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	topo := topology.QuadSocket()
+	model := mem.NewModel(topo)
+	net := NewNetwork[int](k, topo, UnixSocket)
+	a := net.NewEndpoint(0)
+	b := net.NewEndpoint(1)
+	k.Spawn("t", func(p *sim.Proc) {
+		ctx := exec.New(p, 1, model, nil)
+		if _, ok := b.TryRecv(ctx); ok {
+			t.Error("TryRecv on empty mailbox succeeded")
+		}
+		actx := exec.New(p, 0, model, nil)
+		a.Send(actx, b, 42)
+		p.Advance(net.Costs().WireSameSocket)
+		v, ok := b.TryRecv(ctx)
+		if !ok || v != 42 {
+			t.Errorf("TryRecv = %d,%v", v, ok)
+		}
+	})
+	k.Run()
+}
+
+func TestMechanismNames(t *testing.T) {
+	if UnixSocket.String() != "unix" || TCPSocket.String() != "tcp" {
+		t.Error("mechanism names wrong")
+	}
+	if len(Mechanisms()) != 5 {
+		t.Error("expected 5 mechanisms")
+	}
+}

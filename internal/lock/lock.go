@@ -1,0 +1,347 @@
+// Package lock implements a hierarchical two-phase lock manager in the
+// style of Shore-MT: intent locks at table granularity, shared/exclusive
+// locks at row granularity, FIFO grant order, and wait-die deadlock
+// avoidance. Wait-die (rather than cycle detection) keeps distributed
+// deadlocks impossible too: a participant of a 2PC transaction never waits
+// on a younger transaction, so waits-for edges always point from older to
+// younger and cannot form cycles across instances.
+//
+// Single-threaded instances disable the manager entirely (Enabled=false),
+// the H-Store-style optimization the paper applies to 24ISL configurations.
+package lock
+
+import (
+	"errors"
+
+	"islands/internal/exec"
+	"islands/internal/mem"
+	"islands/internal/sim"
+)
+
+// ErrDie is returned when wait-die chooses to abort the requester; the
+// transaction must roll back, release its locks, and retry with its
+// original timestamp.
+var ErrDie = errors.New("lock: wait-die abort")
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes. Intent modes apply to tables; S and X to rows or tables.
+const (
+	None Mode = iota
+	IS
+	IX
+	S
+	X
+)
+
+var modeNames = [...]string{"none", "IS", "IX", "S", "X"}
+
+func (m Mode) String() string { return modeNames[m] }
+
+// compatible reports whether two modes can be held simultaneously by
+// different owners.
+func compatible(a, b Mode) bool {
+	switch a {
+	case IS:
+		return b != X
+	case IX:
+		return b == IS || b == IX
+	case S:
+		return b == IS || b == S
+	case X:
+		return false
+	}
+	return true
+}
+
+// covers reports whether holding mode a satisfies a request for mode b.
+func covers(a, b Mode) bool {
+	switch a {
+	case X:
+		return true
+	case S:
+		return b == S || b == IS
+	case IX:
+		return b == IX || b == IS
+	case IS:
+		return b == IS
+	}
+	return false
+}
+
+// lub returns a mode that covers both a and b. S+IX would canonically be
+// SIX; this manager escalates to X, which is safe and only marginally more
+// restrictive for the paper's workloads.
+func lub(a, b Mode) Mode {
+	if covers(a, b) {
+		return a
+	}
+	if covers(b, a) {
+		return b
+	}
+	if (a == S && b == IX) || (a == IX && b == S) {
+		return X
+	}
+	return X
+}
+
+// Key names a lockable object: a row of a table (ID >= 0) or a whole table
+// (ID == TableLock).
+type Key struct {
+	Space uint32 // table identifier
+	ID    int64  // row key, or TableLock
+}
+
+// TableLock is the ID used for table-granularity locks.
+const TableLock int64 = -1
+
+// Cost constants.
+const (
+	// CostAcquireCPU is the compute cost of an uncontended acquire.
+	CostAcquireCPU = 130 * sim.Nanosecond
+	// CostReleaseCPU is the compute cost per released lock.
+	CostReleaseCPU = 60 * sim.Nanosecond
+)
+
+const bucketCount = 256
+
+type entry struct {
+	owner uint64
+	mode  Mode
+}
+
+type waitReq struct {
+	owner   uint64
+	mode    Mode
+	proc    *sim.Proc
+	granted bool
+}
+
+type head struct {
+	granted []entry
+	waiters []*waitReq
+}
+
+type bucket struct {
+	line  mem.Line
+	heads map[Key]*head
+}
+
+// Manager is one instance's lock table.
+type Manager struct {
+	// Enabled gates all locking; a disabled manager is free (single-threaded
+	// instances).
+	Enabled bool
+
+	buckets [bucketCount]bucket
+	held    map[uint64]map[Key]Mode
+
+	// Stats.
+	Acquires uint64
+	Waits    uint64
+	Dies     uint64
+	WaitTime sim.Time
+}
+
+// NewManager returns a lock manager; enabled=false makes every operation a
+// no-op.
+func NewManager(enabled bool) *Manager {
+	m := &Manager{Enabled: enabled, held: make(map[uint64]map[Key]Mode)}
+	for i := range m.buckets {
+		m.buckets[i].heads = make(map[Key]*head)
+	}
+	return m
+}
+
+func (m *Manager) bucketOf(k Key) *bucket {
+	h := uint64(k.ID)*0x9e3779b97f4a7c15 ^ uint64(k.Space)*0xc2b2ae3d
+	return &m.buckets[h%bucketCount]
+}
+
+// Held returns the number of locks owner currently holds.
+func (m *Manager) Held(owner uint64) int { return len(m.held[owner]) }
+
+// HeldMode returns the mode owner holds on key (None if not held).
+func (m *Manager) HeldMode(owner uint64, key Key) Mode { return m.held[owner][key] }
+
+// Acquire obtains key in mode for owner, blocking in FIFO order behind
+// conflicting transactions. The owner id doubles as the wait-die timestamp:
+// smaller ids are older and win conflicts. Returns ErrDie when the requester
+// must abort.
+func (m *Manager) Acquire(ctx *exec.Ctx, owner uint64, key Key, mode Mode) error {
+	if !m.Enabled {
+		return nil
+	}
+	prev := ctx.Bucket(exec.BLock)
+	defer ctx.Bucket(prev)
+
+	// All grant-table bookkeeping happens before any virtual time is
+	// charged: the decision is atomic, exactly as if the bucket were
+	// latched. Costs are paid afterwards.
+	b := m.bucketOf(key)
+	m.Acquires++
+	charge := func() {
+		ctx.WriteLine(&b.line)
+		ctx.Charge(CostAcquireCPU)
+	}
+
+	hm := m.held[owner]
+	if cur, ok := hm[key]; ok && covers(cur, mode) {
+		charge()
+		return nil // already held strongly enough
+	}
+	want := mode
+	if cur, ok := hm[key]; ok {
+		want = lub(cur, mode) // upgrade
+	}
+
+	h := b.heads[key]
+	if h == nil {
+		h = &head{}
+		b.heads[key] = h
+	}
+
+	if m.grantable(h, owner, want) {
+		m.grant(h, owner, key, want)
+		charge()
+		return nil
+	}
+
+	// Wait-die: the requester may wait only if it is strictly older than
+	// every transaction it would wait behind (holders and queued waiters);
+	// otherwise it dies. Edges therefore always point old->young: no
+	// deadlock, local or distributed.
+	for _, e := range h.granted {
+		if e.owner != owner && owner > e.owner {
+			m.Dies++
+			charge()
+			return ErrDie
+		}
+	}
+	for _, w := range h.waiters {
+		if w.owner != owner && owner > w.owner {
+			m.Dies++
+			charge()
+			return ErrDie
+		}
+	}
+
+	m.Waits++
+	req := &waitReq{owner: owner, mode: want, proc: ctx.P}
+	if _, upgrading := hm[key]; upgrading {
+		// Upgrades go to the front: the owner already holds the object and
+		// blocks everyone behind it anyway.
+		h.waiters = append([]*waitReq{req}, h.waiters...)
+	} else {
+		h.waiters = append(h.waiters, req)
+	}
+	charge()
+	t0 := ctx.P.Now()
+	ctx.Block(func() {
+		for !req.granted {
+			ctx.P.Park()
+		}
+	})
+	m.WaitTime += ctx.P.Now() - t0
+	m.grant(h, owner, key, want)
+	return nil
+}
+
+// grantable reports whether owner can hold `mode` right now: compatible
+// with every other grant and no one queued ahead.
+func (m *Manager) grantable(h *head, owner uint64, mode Mode) bool {
+	if len(h.waiters) > 0 {
+		return false
+	}
+	for _, e := range h.granted {
+		if e.owner != owner && !compatible(e.mode, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// addGrant records owner's grant in the head, replacing an existing entry
+// on upgrade so an owner never has two entries (a duplicate would survive
+// ReleaseAll as a phantom grant and wedge the key).
+func addGrant(h *head, owner uint64, mode Mode) {
+	for i := range h.granted {
+		if h.granted[i].owner == owner {
+			h.granted[i].mode = mode
+			return
+		}
+	}
+	h.granted = append(h.granted, entry{owner: owner, mode: mode})
+}
+
+// grant records the grant in the head and the owner's held set.
+func (m *Manager) grant(h *head, owner uint64, key Key, mode Mode) {
+	hm := m.held[owner]
+	if hm == nil {
+		hm = make(map[Key]Mode)
+		m.held[owner] = hm
+	}
+	addGrant(h, owner, mode)
+	hm[key] = mode
+}
+
+// ReleaseAll drops every lock owner holds (strict 2PL release at
+// commit/abort) and wakes newly grantable waiters.
+func (m *Manager) ReleaseAll(ctx *exec.Ctx, owner uint64) {
+	if !m.Enabled {
+		return
+	}
+	hm := m.held[owner]
+	if len(hm) == 0 {
+		delete(m.held, owner)
+		return
+	}
+	prev := ctx.Bucket(exec.BLock)
+	defer ctx.Bucket(prev)
+	// Bookkeeping first (atomic), then pay the per-lock release costs.
+	var lines []*mem.Line
+	for key := range hm {
+		b := m.bucketOf(key)
+		lines = append(lines, &b.line)
+		h := b.heads[key]
+		for i := range h.granted {
+			if h.granted[i].owner == owner {
+				h.granted = append(h.granted[:i], h.granted[i+1:]...)
+				break
+			}
+		}
+		m.dispatch(h)
+		if len(h.granted) == 0 && len(h.waiters) == 0 {
+			delete(b.heads, key)
+		}
+	}
+	delete(m.held, owner)
+	for _, line := range lines {
+		ctx.WriteLine(line)
+		ctx.Charge(CostReleaseCPU)
+	}
+}
+
+// dispatch grants the maximal FIFO prefix of compatible waiters.
+func (m *Manager) dispatch(h *head) {
+	for len(h.waiters) > 0 {
+		w := h.waiters[0]
+		ok := true
+		for _, e := range h.granted {
+			if e.owner != w.owner && !compatible(e.mode, w.mode) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			return
+		}
+		h.waiters = h.waiters[1:]
+		// Provisional grant so the next waiter's compatibility check sees
+		// it; replaces the owner's old entry when this is an upgrade.
+		addGrant(h, w.owner, w.mode)
+		w.granted = true
+		w.proc.Unpark()
+	}
+}

@@ -1,0 +1,320 @@
+package lock
+
+import (
+	"fmt"
+	"testing"
+
+	"islands/internal/exec"
+	"islands/internal/mem"
+	"islands/internal/sim"
+	"islands/internal/topology"
+)
+
+func ctxFor(p *sim.Proc, m *mem.Model) *exec.Ctx {
+	c := exec.New(p, 0, m, nil)
+	c.BD = &exec.Breakdown{}
+	return c
+}
+
+func run(t *testing.T, fns ...func(p *sim.Proc, ctx *exec.Ctx)) {
+	t.Helper()
+	k := sim.NewKernel()
+	defer k.Close()
+	model := mem.NewModel(topology.QuadSocket())
+	for i, fn := range fns {
+		fn := fn
+		k.Spawn(fmt.Sprintf("t%d", i), func(p *sim.Proc) { fn(p, ctxFor(p, model)) })
+	}
+	k.Run()
+}
+
+func TestCompatibilityMatrix(t *testing.T) {
+	cases := []struct {
+		a, b Mode
+		want bool
+	}{
+		{IS, IS, true}, {IS, IX, true}, {IS, S, true}, {IS, X, false},
+		{IX, IX, true}, {IX, S, false}, {IX, X, false},
+		{S, S, true}, {S, X, false},
+		{X, X, false},
+	}
+	for _, c := range cases {
+		if got := compatible(c.a, c.b); got != c.want {
+			t.Errorf("compatible(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := compatible(c.b, c.a); got != c.want {
+			t.Errorf("compatible(%v,%v) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestSharedLocksOverlap(t *testing.T) {
+	m := NewManager(true)
+	key := Key{Space: 1, ID: 7}
+	var concurrent int
+	run(t,
+		func(p *sim.Proc, ctx *exec.Ctx) {
+			if err := m.Acquire(ctx, 1, key, S); err != nil {
+				t.Errorf("t1: %v", err)
+			}
+			p.Advance(100)
+			m.ReleaseAll(ctx, 1)
+		},
+		func(p *sim.Proc, ctx *exec.Ctx) {
+			p.Advance(10)
+			if err := m.Acquire(ctx, 2, key, S); err != nil {
+				t.Errorf("t2: %v", err)
+			}
+			concurrent++
+			m.ReleaseAll(ctx, 2)
+		},
+	)
+	if concurrent != 1 {
+		t.Error("second reader never ran")
+	}
+	if m.Waits != 0 {
+		t.Errorf("Waits = %d; S behind S should not block", m.Waits)
+	}
+}
+
+func TestExclusiveBlocksOlderWaits(t *testing.T) {
+	m := NewManager(true)
+	key := Key{Space: 1, ID: 7}
+	var acquiredAt sim.Time
+	run(t,
+		// Owner 2 (younger) holds X first.
+		func(p *sim.Proc, ctx *exec.Ctx) {
+			if err := m.Acquire(ctx, 2, key, X); err != nil {
+				t.Errorf("holder: %v", err)
+			}
+			p.Advance(500)
+			m.ReleaseAll(ctx, 2)
+		},
+		// Owner 1 (older) requests: must WAIT (old waits for young), then win.
+		func(p *sim.Proc, ctx *exec.Ctx) {
+			p.Advance(10)
+			if err := m.Acquire(ctx, 1, key, X); err != nil {
+				t.Errorf("older requester died: %v", err)
+			}
+			acquiredAt = p.Now()
+			m.ReleaseAll(ctx, 1)
+		},
+	)
+	if acquiredAt < 500 {
+		t.Errorf("older txn acquired at %v, want >= 500", acquiredAt)
+	}
+	if m.Waits != 1 {
+		t.Errorf("Waits = %d, want 1", m.Waits)
+	}
+}
+
+func TestYoungerRequesterDies(t *testing.T) {
+	m := NewManager(true)
+	key := Key{Space: 1, ID: 7}
+	run(t,
+		func(p *sim.Proc, ctx *exec.Ctx) {
+			if err := m.Acquire(ctx, 1, key, X); err != nil { // older holder
+				t.Errorf("holder: %v", err)
+			}
+			p.Advance(500)
+			m.ReleaseAll(ctx, 1)
+		},
+		func(p *sim.Proc, ctx *exec.Ctx) {
+			p.Advance(10)
+			err := m.Acquire(ctx, 2, key, X) // younger: must die, not wait
+			if err != ErrDie {
+				t.Errorf("younger got %v, want ErrDie", err)
+			}
+			if p.Now() > 400 {
+				t.Error("die should be immediate, not a wait for the holder")
+			}
+		},
+	)
+	if m.Dies != 1 {
+		t.Errorf("Dies = %d, want 1", m.Dies)
+	}
+}
+
+func TestReacquireHeldLockIsFree(t *testing.T) {
+	m := NewManager(true)
+	key := Key{Space: 1, ID: 7}
+	run(t, func(p *sim.Proc, ctx *exec.Ctx) {
+		if err := m.Acquire(ctx, 1, key, X); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Acquire(ctx, 1, key, S); err != nil { // covered by X
+			t.Fatal(err)
+		}
+		if err := m.Acquire(ctx, 1, key, X); err != nil {
+			t.Fatal(err)
+		}
+		if m.Held(1) != 1 {
+			t.Errorf("Held = %d, want 1", m.Held(1))
+		}
+		m.ReleaseAll(ctx, 1)
+		if m.Held(1) != 0 {
+			t.Error("locks leaked after ReleaseAll")
+		}
+	})
+}
+
+func TestUpgradeSoleHolder(t *testing.T) {
+	m := NewManager(true)
+	key := Key{Space: 1, ID: 7}
+	run(t, func(p *sim.Proc, ctx *exec.Ctx) {
+		if err := m.Acquire(ctx, 1, key, S); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Acquire(ctx, 1, key, X); err != nil {
+			t.Fatalf("sole-holder upgrade failed: %v", err)
+		}
+		if m.HeldMode(1, key) != X {
+			t.Errorf("mode = %v, want X", m.HeldMode(1, key))
+		}
+		m.ReleaseAll(ctx, 1)
+	})
+}
+
+func TestUpgradeRace(t *testing.T) {
+	// Two S holders both upgrade: the younger dies, the older waits and wins.
+	m := NewManager(true)
+	key := Key{Space: 1, ID: 7}
+	var olderGot sim.Time
+	run(t,
+		func(p *sim.Proc, ctx *exec.Ctx) { // older
+			if err := m.Acquire(ctx, 1, key, S); err != nil {
+				t.Fatal(err)
+			}
+			p.Advance(10)
+			if err := m.Acquire(ctx, 1, key, X); err != nil {
+				t.Errorf("older upgrade: %v", err)
+			}
+			olderGot = p.Now()
+			m.ReleaseAll(ctx, 1)
+		},
+		func(p *sim.Proc, ctx *exec.Ctx) { // younger
+			if err := m.Acquire(ctx, 2, key, S); err != nil {
+				t.Fatal(err)
+			}
+			p.Advance(20)
+			if err := m.Acquire(ctx, 2, key, X); err != ErrDie {
+				t.Errorf("younger upgrade got %v, want ErrDie", err)
+			}
+			m.ReleaseAll(ctx, 2) // abort path
+		},
+	)
+	if olderGot == 0 {
+		t.Error("older upgrader never succeeded")
+	}
+}
+
+func TestIntentLocksAllowRowDisjointness(t *testing.T) {
+	m := NewManager(true)
+	table := Key{Space: 1, ID: TableLock}
+	run(t,
+		func(p *sim.Proc, ctx *exec.Ctx) {
+			if err := m.Acquire(ctx, 1, table, IX); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Acquire(ctx, 1, Key{Space: 1, ID: 10}, X); err != nil {
+				t.Fatal(err)
+			}
+			p.Advance(100)
+			m.ReleaseAll(ctx, 1)
+		},
+		func(p *sim.Proc, ctx *exec.Ctx) {
+			p.Advance(5)
+			// Different row: IX+IX compatible, no wait.
+			if err := m.Acquire(ctx, 2, table, IX); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Acquire(ctx, 2, Key{Space: 1, ID: 11}, X); err != nil {
+				t.Fatal(err)
+			}
+			if m.Waits != 0 {
+				t.Error("disjoint rows blocked each other")
+			}
+			m.ReleaseAll(ctx, 2)
+		},
+	)
+}
+
+func TestDisabledManagerIsFree(t *testing.T) {
+	m := NewManager(false)
+	run(t, func(p *sim.Proc, ctx *exec.Ctx) {
+		t0 := p.Now()
+		if err := m.Acquire(ctx, 1, Key{Space: 1, ID: 1}, X); err != nil {
+			t.Fatal(err)
+		}
+		m.ReleaseAll(ctx, 1)
+		if p.Now() != t0 {
+			t.Error("disabled manager consumed time")
+		}
+		if m.Acquires != 0 {
+			t.Error("disabled manager counted acquires")
+		}
+	})
+}
+
+func TestFIFOGrantAfterRelease(t *testing.T) {
+	// Holder releases; two waiters (both older than holder... impossible) —
+	// instead: holder is youngest; waiters arrive in order 2 then 1 (1 is
+	// oldest). Queue check: both wait (each older than everyone present).
+	m := NewManager(true)
+	key := Key{Space: 1, ID: 9}
+	var order []uint64
+	run(t,
+		func(p *sim.Proc, ctx *exec.Ctx) { // owner 5, youngest, holds first
+			if err := m.Acquire(ctx, 5, key, X); err != nil {
+				t.Fatal(err)
+			}
+			p.Advance(100)
+			m.ReleaseAll(ctx, 5)
+		},
+		func(p *sim.Proc, ctx *exec.Ctx) { // owner 2 arrives at t=10
+			p.Advance(10)
+			if err := m.Acquire(ctx, 2, key, X); err != nil {
+				t.Fatal(err)
+			}
+			order = append(order, 2)
+			p.Advance(10)
+			m.ReleaseAll(ctx, 2)
+		},
+		func(p *sim.Proc, ctx *exec.Ctx) { // owner 1 arrives at t=20
+			p.Advance(20)
+			if err := m.Acquire(ctx, 1, key, X); err != nil {
+				t.Fatal(err)
+			}
+			order = append(order, 1)
+			m.ReleaseAll(ctx, 1)
+		},
+	)
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Errorf("grant order = %v, want [2 1] (FIFO)", order)
+	}
+}
+
+func TestWaitTimeAccounting(t *testing.T) {
+	m := NewManager(true)
+	key := Key{Space: 1, ID: 1}
+	run(t,
+		func(p *sim.Proc, ctx *exec.Ctx) {
+			m.Acquire(ctx, 9, key, X)
+			p.Advance(300)
+			m.ReleaseAll(ctx, 9)
+		},
+		func(p *sim.Proc, ctx *exec.Ctx) {
+			p.Advance(10)
+			if err := m.Acquire(ctx, 1, key, X); err != nil {
+				t.Fatal(err)
+			}
+			if ctx.BD[exec.BLock] < 250 {
+				t.Errorf("BLock = %v, want ~290", ctx.BD[exec.BLock])
+			}
+			m.ReleaseAll(ctx, 1)
+		},
+	)
+	if m.WaitTime < 250 {
+		t.Errorf("WaitTime = %v", m.WaitTime)
+	}
+}

@@ -1,0 +1,209 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"islands/internal/sim"
+	"islands/internal/topology"
+)
+
+func TestFirstTouchSetsHome(t *testing.T) {
+	m := NewModel(topology.QuadSocket())
+	var l Line
+	m.Read(8, &l) // core 8 is on socket 1
+	if !l.Touched() || l.Home() != 1 {
+		t.Errorf("home = %d touched=%v, want home 1, touched", l.Home(), l.Touched())
+	}
+}
+
+func TestReadAfterLocalWriteIsL1(t *testing.T) {
+	m := NewModel(topology.QuadSocket())
+	var l Line
+	m.Write(0, &l)
+	lat := m.Read(0, &l)
+	if lat != m.Topo.Lat.L1 {
+		t.Errorf("read-own-dirty latency = %v, want L1 %v", lat, m.Topo.Lat.L1)
+	}
+	if m.PerCore[0].L1Hits != 1 {
+		t.Errorf("L1Hits = %d, want 1", m.PerCore[0].L1Hits)
+	}
+}
+
+func TestDirtyTransferCosts(t *testing.T) {
+	m := NewModel(topology.QuadSocket())
+	lat := m.Topo.Lat
+
+	var l Line
+	m.Write(0, &l)
+	same := m.Read(1, &l) // same socket as core 0
+	if same != lat.C2CSameSocket {
+		t.Errorf("same-socket c2c = %v, want %v", same, lat.C2CSameSocket)
+	}
+
+	var l2 Line
+	m.Write(0, &l2)
+	cross := m.Read(6, &l2) // socket 1
+	if cross != lat.C2CCrossBase {
+		t.Errorf("cross-socket c2c = %v, want %v", cross, lat.C2CCrossBase)
+	}
+	if m.PerCore[6].C2CCross != 1 || m.PerCore[6].QPIBytes == 0 {
+		t.Error("cross-socket transfer not billed to QPI")
+	}
+}
+
+func TestReadDowngradesDirtyLine(t *testing.T) {
+	m := NewModel(topology.QuadSocket())
+	var l Line
+	m.Write(0, &l)
+	m.Read(6, &l)
+	// Now clean and shared by sockets 0 and 1: socket-1 reader hits LLC.
+	lat := m.Read(7, &l)
+	if lat != m.Topo.Lat.LLC {
+		t.Errorf("post-downgrade read = %v, want LLC %v", lat, m.Topo.Lat.LLC)
+	}
+	// And socket-0 reader also hits (writer's socket kept a clean copy).
+	lat = m.Read(1, &l)
+	if lat != m.Topo.Lat.LLC {
+		t.Errorf("writer-socket read = %v, want LLC %v", lat, m.Topo.Lat.LLC)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	m := NewModel(topology.QuadSocket())
+	var l Line
+	m.Write(0, &l)
+	m.Read(6, &l)  // downgrade, shared by sockets 0,1
+	m.Write(6, &l) // upgrade on socket 1, invalidating socket 0
+	lat := m.Read(0, &l)
+	if lat != m.Topo.Lat.C2CCrossBase {
+		t.Errorf("read after remote upgrade = %v, want cross c2c %v", lat, m.Topo.Lat.C2CCrossBase)
+	}
+}
+
+func TestUpgradeFromSharedCostsInterconnect(t *testing.T) {
+	m := NewModel(topology.QuadSocket())
+	var l Line
+	m.Write(0, &l)
+	m.Read(6, &l) // shared by sockets 0 and 1
+	lat := m.Write(0, &l)
+	if lat != m.Topo.Lat.C2CCrossBase {
+		t.Errorf("upgrade with remote sharers = %v, want %v", lat, m.Topo.Lat.C2CCrossBase)
+	}
+	// Exclusive again: next write is L1.
+	if lat := m.Write(0, &l); lat != m.Topo.Lat.L1 {
+		t.Errorf("write on exclusive line = %v, want L1", lat)
+	}
+}
+
+func TestPingPongCostlierAcrossSockets(t *testing.T) {
+	m := NewModel(topology.OctoSocket())
+	var near, far Line
+	m.Write(0, &near)
+	m.Write(0, &far)
+	var nearCost, farCost int64
+	for i := 0; i < 10; i++ {
+		nearCost += int64(m.Write(topology.CoreID(i%2), &near))    // cores 0,1: socket 0
+		farCost += int64(m.Write(topology.CoreID((i%2)*70), &far)) // cores 0,70: sockets 0,7 (3 hops)
+	}
+	if farCost <= nearCost {
+		t.Errorf("cross-socket ping-pong (%d) should cost more than same-socket (%d)", farCost, nearCost)
+	}
+}
+
+func TestComputeBillsBusyTime(t *testing.T) {
+	m := NewModel(topology.QuadSocket())
+	m.Compute(3, 1000)
+	if m.PerCore[3].BusyTime != 1000 {
+		t.Errorf("BusyTime = %v, want 1000", m.PerCore[3].BusyTime)
+	}
+}
+
+func TestTotalStatsSubset(t *testing.T) {
+	m := NewModel(topology.QuadSocket())
+	var l Line
+	m.Write(0, &l)
+	m.Write(6, &l)
+	all := m.TotalStats(nil)
+	if all.Accesses != 2 {
+		t.Errorf("total accesses = %d, want 2", all.Accesses)
+	}
+	only0 := m.TotalStats([]topology.CoreID{0})
+	if only0.Accesses != 1 {
+		t.Errorf("core-0 accesses = %d, want 1", only0.Accesses)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	m := NewModel(topology.QuadSocket())
+	var l Line
+	m.Write(0, &l)
+	m.ResetStats()
+	if s := m.TotalStats(nil); s.Accesses != 0 || s.StallTime != 0 {
+		t.Error("ResetStats left residue")
+	}
+}
+
+func TestDataReadCapacityModel(t *testing.T) {
+	topo := topology.QuadSocket()
+	m := NewModel(topo)
+	small := &WorkingSet{Bytes: 1 << 20, HomeSocket: 0, Cores: topo.CoresOf(0)}
+	big := &WorkingSet{Bytes: 1 << 34, HomeSocket: 0, Cores: topo.CoresOf(0)}
+	cSmall := m.DataRead(0, small, 256)
+	cBig := m.DataRead(0, big, 256)
+	if cSmall >= cBig {
+		t.Errorf("LLC-resident read (%v) should be cheaper than DRAM-resident (%v)", cSmall, cBig)
+	}
+	// Small working set fits: cost is pure LLC.
+	wantSmall := 4 * topo.Lat.LLC // 256 bytes = 4 lines
+	if cSmall != wantSmall {
+		t.Errorf("small WS cost = %v, want %v", cSmall, wantSmall)
+	}
+}
+
+func TestDataReadNUMAPenalty(t *testing.T) {
+	topo := topology.QuadSocket()
+	m := NewModel(topo)
+	ws := &WorkingSet{Bytes: 1 << 34, HomeSocket: 0, Cores: topo.CoresOf(0)}
+	local := m.DataRead(0, ws, 64) // socket 0 core, home 0
+	wsRemote := &WorkingSet{Bytes: 1 << 34, HomeSocket: 3, Cores: topo.CoresOf(3)}
+	remote := m.DataRead(0, wsRemote, 64) // socket 0 core, home 3
+	if local >= remote {
+		t.Errorf("local DRAM read (%v) should be cheaper than remote (%v)", local, remote)
+	}
+}
+
+func TestDataReadInterleavedBetweenLocalAndRemote(t *testing.T) {
+	topo := topology.QuadSocket()
+	m := NewModel(topo)
+	huge := int64(1) << 34
+	local := m.DataRead(0, &WorkingSet{Bytes: huge, HomeSocket: 0, Cores: topo.CoresOf(0)}, 64)
+	inter := m.DataRead(0, &WorkingSet{Bytes: huge, Interleaved: true, Cores: topo.AllCores()}, 64)
+	remote := m.DataRead(0, &WorkingSet{Bytes: huge, HomeSocket: 1, Cores: topo.CoresOf(1)}, 64)
+	if !(local < inter && inter < remote) {
+		t.Errorf("want local(%v) < interleaved(%v) < remote(%v)", local, inter, remote)
+	}
+}
+
+func TestDataAccessZeroBytes(t *testing.T) {
+	topo := topology.QuadSocket()
+	m := NewModel(topo)
+	if c := m.DataRead(0, &WorkingSet{Bytes: 100, Cores: topo.CoresOf(0)}, 0); c != 0 {
+		t.Errorf("zero-byte read cost = %v, want 0", c)
+	}
+}
+
+func TestStatsAddProperty(t *testing.T) {
+	f := func(a, b uint32, t1, t2 uint32) bool {
+		s1 := Stats{Accesses: uint64(a), StallTime: sim.Time(t1), QPIBytes: uint64(b)}
+		s2 := Stats{Accesses: uint64(b), StallTime: sim.Time(t2), QPIBytes: uint64(a)}
+		sum := s1
+		sum.Add(s2)
+		return sum.Accesses == uint64(a)+uint64(b) &&
+			sum.StallTime == sim.Time(t1)+sim.Time(t2) &&
+			sum.QPIBytes == uint64(a)+uint64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,38 @@
+package sim
+
+// Cond is a virtual-time condition variable. As with Park, waiters must
+// re-check their predicate in a loop: Signal and Broadcast are hints, not
+// guarantees.
+//
+// Unlike sync.Cond there is no associated mutex: Procs execute one at a time,
+// so predicates cannot change between the check and the Wait.
+type Cond struct {
+	waiters fifo[*Proc]
+}
+
+// Wait parks p until a Signal or Broadcast.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters.push(p)
+	p.Park()
+}
+
+// Signal wakes the longest-waiting Proc, if any.
+func (c *Cond) Signal() {
+	if w, ok := c.waiters.pop(); ok {
+		w.Unpark()
+	}
+}
+
+// Broadcast wakes every waiting Proc.
+func (c *Cond) Broadcast() {
+	for {
+		w, ok := c.waiters.pop()
+		if !ok {
+			return
+		}
+		w.Unpark()
+	}
+}
+
+// Waiters returns the number of parked Procs.
+func (c *Cond) Waiters() int { return c.waiters.len() }

@@ -1,0 +1,135 @@
+package sim
+
+import "container/heap"
+
+// event is a single entry in the kernel's timeline. fn runs on the kernel
+// goroutine and must not block; waking a Proc is done by handing control to
+// its goroutine and waiting for it to yield back.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event   { return h[0] }
+func (h eventHeap) empty() bool   { return len(h) == 0 }
+
+// Kernel owns the virtual clock, the event queue, and all Procs.
+// It is not safe for concurrent use; the simulation itself provides all the
+// concurrency that is being modeled.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{}
+	procs   []*Proc
+	nEvents uint64
+	failure any // pending panic value from a Proc, re-raised by the kernel
+}
+
+// NewKernel returns an empty kernel at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Events returns the number of events executed so far (a determinism probe
+// and a rough measure of simulation effort).
+func (k *Kernel) Events() uint64 { return k.nEvents }
+
+// Pending returns the number of events waiting in the timeline.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+func (k *Kernel) schedule(at Time, fn func()) {
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: at, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run on the kernel goroutine d from now.
+// fn must not block; it may push to queues, unpark procs, or schedule more
+// events.
+func (k *Kernel) After(d Time, fn func()) {
+	k.schedule(k.now+d, fn)
+}
+
+// Step executes the next event, if any, and reports whether one ran.
+func (k *Kernel) Step() bool {
+	if k.events.empty() {
+		return false
+	}
+	ev := heap.Pop(&k.events).(event)
+	k.now = ev.at
+	k.nEvents++
+	ev.fn()
+	if k.failure != nil {
+		f := k.failure
+		k.failure = nil
+		panic(f)
+	}
+	return true
+}
+
+// Run executes events until the timeline is empty. Procs parked on empty
+// queues or condition variables do not keep the simulation alive.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t and then advances the clock
+// to exactly t.
+func (k *Kernel) RunUntil(t Time) {
+	for !k.events.empty() && k.events.peek().at <= t {
+		k.Step()
+	}
+	if k.now < t {
+		k.now = t
+	}
+}
+
+// RunFor executes events for d of virtual time from now.
+func (k *Kernel) RunFor(d Time) { k.RunUntil(k.now + d) }
+
+// Close kills every live Proc so their goroutines exit. The kernel must be
+// idle (called from outside Run). A closed kernel must not be reused.
+func (k *Kernel) Close() {
+	for _, p := range k.procs {
+		if p.started && !p.dead {
+			p.resume <- sigKill
+			<-k.yield
+		}
+		p.dead = true
+	}
+	k.procs = nil
+	k.events = nil
+	k.failure = nil
+}
+
+// LiveProcs returns the number of procs that have started and not finished,
+// useful for detecting stuck simulations in tests.
+func (k *Kernel) LiveProcs() int {
+	n := 0
+	for _, p := range k.procs {
+		if p.started && !p.dead {
+			n++
+		}
+	}
+	return n
+}

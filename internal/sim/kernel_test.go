@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0ns"},
+		{999, "999ns"},
+		{1500, "1.50us"},
+		{2500 * Microsecond, "2.50ms"},
+		{3 * Second, "3.000s"},
+		{-1500, "-1.50us"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestAdvanceOrdering(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	var trace []string
+	k.Spawn("a", func(p *Proc) {
+		p.Advance(10)
+		trace = append(trace, fmt.Sprintf("a@%d", p.Now()))
+		p.Advance(20)
+		trace = append(trace, fmt.Sprintf("a@%d", p.Now()))
+	})
+	k.Spawn("b", func(p *Proc) {
+		p.Advance(15)
+		trace = append(trace, fmt.Sprintf("b@%d", p.Now()))
+		p.Advance(15)
+		trace = append(trace, fmt.Sprintf("b@%d", p.Now()))
+	})
+	k.Run()
+	want := []string{"a@10", "b@15", "a@30", "b@30"}
+	if !reflect.DeepEqual(trace, want) {
+		t.Errorf("trace = %v, want %v", trace, want)
+	}
+	if k.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", k.Now())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Advance(100) // all wake at the same timestamp
+			order = append(order, i)
+		})
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want spawn order", order)
+		}
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	fired := false
+	k.After(500, func() { fired = true })
+	k.RunUntil(100)
+	if fired {
+		t.Fatal("event at 500 fired during RunUntil(100)")
+	}
+	if k.Now() != 100 {
+		t.Fatalf("Now() = %v, want 100", k.Now())
+	}
+	k.RunUntil(1000)
+	if !fired {
+		t.Fatal("event at 500 did not fire by 1000")
+	}
+	if k.Now() != 1000 {
+		t.Fatalf("Now() = %v, want 1000", k.Now())
+	}
+}
+
+func TestSpawnAtAndAfter(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	var at []Time
+	k.SpawnAt(42, "late", func(p *Proc) { at = append(at, p.Now()) })
+	k.After(7, func() { at = append(at, k.Now()) })
+	k.Run()
+	want := []Time{7, 42}
+	if !reflect.DeepEqual(at, want) {
+		t.Errorf("fire times = %v, want %v", at, want)
+	}
+}
+
+func TestNegativeAdvanceIsZero(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	k.Spawn("p", func(p *Proc) {
+		p.Advance(10)
+		p.Advance(-5)
+		if p.Now() != 10 {
+			t.Errorf("Now() = %v after negative advance, want 10", p.Now())
+		}
+	})
+	k.Run()
+}
+
+func TestParkUnpark(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	var wokeAt Time
+	sleeper := k.Spawn("sleeper", func(p *Proc) {
+		p.Park()
+		wokeAt = p.Now()
+	})
+	k.Spawn("waker", func(p *Proc) {
+		p.Advance(100)
+		sleeper.UnparkAfter(50)
+	})
+	k.Run()
+	if wokeAt != 150 {
+		t.Errorf("sleeper woke at %v, want 150", wokeAt)
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	k.Spawn("bomb", func(p *Proc) {
+		p.Advance(1)
+		panic("boom")
+	})
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recovered %v, want boom", r)
+		}
+	}()
+	k.Run()
+	t.Fatal("Run returned without panicking")
+}
+
+func TestCloseKillsParkedProcs(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 25; i++ {
+		k.Spawn("parked", func(p *Proc) { p.Park() })
+	}
+	k.Run()
+	if live := k.LiveProcs(); live != 25 {
+		t.Fatalf("LiveProcs = %d, want 25", live)
+	}
+	k.Close()
+	if live := k.LiveProcs(); live != 0 {
+		t.Fatalf("LiveProcs after Close = %d, want 0", live)
+	}
+}
+
+func TestCloseWithNeverStartedProc(t *testing.T) {
+	k := NewKernel()
+	k.SpawnAt(1000, "never", func(p *Proc) { t.Error("proc ran") })
+	// Do not run; Close must handle a proc whose goroutine never started.
+	k.Close()
+}
+
+func TestEventsCounter(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	for i := 0; i < 5; i++ {
+		k.After(Time(i), func() {})
+	}
+	k.Run()
+	if k.Events() != 5 {
+		t.Errorf("Events() = %d, want 5", k.Events())
+	}
+}
+
+// runScript executes a deterministic pseudo-random workload and returns its
+// trace. Used by the determinism property test.
+func runScript(seed int64, procs, steps int) []string {
+	k := NewKernel()
+	defer k.Close()
+	var trace []string
+	var mu Mutex
+	q := NewQueue[int](k)
+	for i := 0; i < procs; i++ {
+		i := i
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for s := 0; s < steps; s++ {
+				switch rng.Intn(4) {
+				case 0:
+					p.Advance(Time(rng.Intn(50)))
+				case 1:
+					mu.Lock(p)
+					p.Advance(Time(rng.Intn(10)))
+					mu.Unlock(p)
+				case 2:
+					q.Push(i*1000 + s)
+				case 3:
+					if v, ok := q.TryPop(); ok {
+						trace = append(trace, fmt.Sprintf("pop%d@%d", v, p.Now()))
+					}
+				}
+				trace = append(trace, fmt.Sprintf("p%d.%d@%d", i, s, p.Now()))
+			}
+		})
+	}
+	k.Run()
+	return trace
+}
+
+func TestDeterminismProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		a := runScript(seed, 5, 30)
+		b := runScript(seed, 5, 30)
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,128 @@
+package sim
+
+type procSignal int
+
+const (
+	sigRun procSignal = iota
+	sigKill
+)
+
+// errKilled is the sentinel panic value used to unwind a Proc's goroutine
+// when the kernel is closed.
+type killedError struct{}
+
+func (killedError) Error() string { return "sim: proc killed by kernel close" }
+
+var errKilled = killedError{}
+
+// Proc is a simulated thread. Its function runs on a dedicated goroutine,
+// but the kernel guarantees that at most one Proc executes at a time, so Proc
+// code may freely touch shared simulation state without synchronization.
+//
+// A Proc consumes virtual time only through Advance (or primitives built on
+// it); plain Go computation between kernel interactions is instantaneous in
+// virtual time.
+type Proc struct {
+	k       *Kernel
+	name    string
+	id      int
+	resume  chan procSignal
+	started bool
+	dead    bool
+	fn      func(*Proc)
+}
+
+// Spawn creates a Proc that begins running fn at the current virtual time.
+// The name is for diagnostics only.
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{k: k, name: name, id: len(k.procs), resume: make(chan procSignal), fn: fn}
+	k.procs = append(k.procs, p)
+	k.schedule(k.now, func() { k.wake(p) })
+	return p
+}
+
+// SpawnAt is Spawn with a start delay.
+func (k *Kernel) SpawnAt(d Time, name string, fn func(*Proc)) *Proc {
+	p := &Proc{k: k, name: name, id: len(k.procs), resume: make(chan procSignal), fn: fn}
+	k.procs = append(k.procs, p)
+	k.schedule(k.now+d, func() { k.wake(p) })
+	return p
+}
+
+// Name returns the diagnostic name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the Proc's kernel-unique identifier.
+func (p *Proc) ID() int { return p.id }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// wake transfers control to p's goroutine and blocks the kernel goroutine
+// until p yields back (by advancing, parking, or finishing).
+func (k *Kernel) wake(p *Proc) {
+	if p.dead {
+		return
+	}
+	if !p.started {
+		p.started = true
+		go p.main()
+	} else {
+		p.resume <- sigRun
+	}
+	<-k.yield
+}
+
+func (p *Proc) main() {
+	defer func() {
+		p.dead = true
+		if r := recover(); r != nil {
+			if _, ok := r.(killedError); !ok {
+				p.k.failure = r
+			}
+		}
+		p.k.yield <- struct{}{}
+	}()
+	p.fn(p)
+}
+
+// yieldWait hands control back to the kernel and blocks until resumed.
+func (p *Proc) yieldWait() {
+	p.k.yield <- struct{}{}
+	if sig := <-p.resume; sig == sigKill {
+		panic(errKilled)
+	}
+}
+
+// Advance consumes d of virtual time. Negative d is treated as zero.
+func (p *Proc) Advance(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	k := p.k
+	k.schedule(k.now+d, func() { k.wake(p) })
+	p.yieldWait()
+}
+
+// Yield reschedules the Proc at the current time, letting other ready Procs
+// run first (FIFO within the same timestamp).
+func (p *Proc) Yield() { p.Advance(0) }
+
+// Park blocks the Proc until another Proc (or a timer) unparks it.
+// Primitives that use Park must tolerate spurious wakeups by re-checking
+// their condition in a loop.
+func (p *Proc) Park() { p.yieldWait() }
+
+// Unpark schedules the Proc to resume at the current virtual time.
+// It must be called from another Proc's goroutine or a kernel-context fn,
+// never for a Proc that is currently running.
+func (p *Proc) Unpark() { p.UnparkAfter(0) }
+
+// UnparkAfter schedules the Proc to resume d from now.
+func (p *Proc) UnparkAfter(d Time) {
+	k := p.k
+	k.schedule(k.now+d, func() { k.wake(p) })
+}

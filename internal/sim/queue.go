@@ -1,0 +1,62 @@
+package sim
+
+// Queue is an unbounded virtual-time FIFO channel between Procs.
+// Pop blocks the calling Proc until an item is available. PushAfter models
+// delivery latency (e.g. a message crossing the interconnect).
+type Queue[T any] struct {
+	k       *Kernel
+	items   fifo[T]
+	waiters fifo[*Proc]
+
+	// Pushes and Pops count completed operations; MaxDepth tracks the
+	// high-water mark of queued items (a congestion probe).
+	Pushes   uint64
+	Pops     uint64
+	MaxDepth int
+}
+
+// NewQueue returns an empty queue bound to k.
+func NewQueue[T any](k *Kernel) *Queue[T] {
+	return &Queue[T]{k: k}
+}
+
+// Push enqueues v immediately and wakes one waiting Proc, if any.
+// It never blocks, so it may be called from kernel-context functions.
+func (q *Queue[T]) Push(v T) {
+	q.items.push(v)
+	q.Pushes++
+	if d := q.items.len(); d > q.MaxDepth {
+		q.MaxDepth = d
+	}
+	if w, ok := q.waiters.pop(); ok {
+		w.Unpark()
+	}
+}
+
+// PushAfter enqueues v after d of virtual time has passed.
+func (q *Queue[T]) PushAfter(d Time, v T) {
+	q.k.After(d, func() { q.Push(v) })
+}
+
+// Pop removes and returns the oldest item, blocking p until one exists.
+func (q *Queue[T]) Pop(p *Proc) T {
+	for q.items.len() == 0 {
+		q.waiters.push(p)
+		p.Park()
+	}
+	v, _ := q.items.pop()
+	q.Pops++
+	return v
+}
+
+// TryPop removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryPop() (T, bool) {
+	v, ok := q.items.pop()
+	if ok {
+		q.Pops++
+	}
+	return v, ok
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return q.items.len() }

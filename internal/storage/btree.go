@@ -1,0 +1,347 @@
+package storage
+
+import (
+	"sort"
+
+	"islands/internal/exec"
+	"islands/internal/mem"
+	"islands/internal/sim"
+)
+
+// B+tree cost constants.
+const (
+	// CostBTreeLevelCPU is the binary-search compute per node visited.
+	CostBTreeLevelCPU = 30 * sim.Nanosecond
+	// DefaultBTreeOrder is the maximum number of keys per node.
+	DefaultBTreeOrder = 96
+)
+
+// BTree is an in-memory B+tree mapping int64 keys to RIDs: the primary
+// index of every table, standing in for Shore-MT's B-link trees. Each node
+// carries a coherence-tracked line, so index traversals by instances that
+// span sockets generate the cross-socket traffic the paper observes.
+//
+// Deletion is lazy (keys are removed from leaves without rebalancing),
+// matching the common production choice; structure invariants still hold
+// and are verified by CheckInvariants in tests.
+type BTree struct {
+	order  int
+	root   *bnode
+	height int
+	size   int
+}
+
+type bnode struct {
+	line     mem.Line
+	leaf     bool
+	keys     []int64
+	children []*bnode // inner nodes
+	rids     []RID    // leaf nodes
+	next     *bnode   // leaf chain
+}
+
+// NewBTree returns an empty tree with the given order (max keys per node);
+// order < 4 falls back to DefaultBTreeOrder.
+func NewBTree(order int) *BTree {
+	if order < 4 {
+		order = DefaultBTreeOrder
+	}
+	return &BTree{order: order, root: &bnode{leaf: true}, height: 1}
+}
+
+// Size returns the number of keys.
+func (t *BTree) Size() int { return t.size }
+
+// Height returns the number of levels.
+func (t *BTree) Height() int { return t.height }
+
+// touch charges one node visit to ctx (nil ctx skips charging, for loads and
+// tests).
+func (t *BTree) touch(ctx *exec.Ctx, n *bnode, write bool) {
+	if ctx == nil {
+		return
+	}
+	ctx.Charge(CostBTreeLevelCPU)
+	if write {
+		ctx.WriteLine(&n.line)
+	} else {
+		ctx.ReadLine(&n.line)
+	}
+}
+
+// Search returns the RID for key.
+func (t *BTree) Search(ctx *exec.Ctx, key int64) (RID, bool) {
+	n := t.root
+	for !n.leaf {
+		t.touch(ctx, n, false)
+		n = n.children[childIndex(n.keys, key)]
+	}
+	t.touch(ctx, n, false)
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	if i < len(n.keys) && n.keys[i] == key {
+		return n.rids[i], true
+	}
+	return RID{}, false
+}
+
+// childIndex returns which child subtree of an inner node covers key:
+// keys[i] is the smallest key of children[i+1].
+func childIndex(keys []int64, key int64) int {
+	return sort.Search(len(keys), func(i int) bool { return keys[i] > key })
+}
+
+// Insert adds or replaces the mapping for key. It reports whether the key
+// was new.
+func (t *BTree) Insert(ctx *exec.Ctx, key int64, rid RID) bool {
+	promoted, right, added := t.insert(ctx, t.root, key, rid)
+	if right != nil {
+		newRoot := &bnode{
+			keys:     []int64{promoted},
+			children: []*bnode{t.root, right},
+		}
+		t.root = newRoot
+		t.height++
+	}
+	if added {
+		t.size++
+	}
+	return added
+}
+
+func (t *BTree) insert(ctx *exec.Ctx, n *bnode, key int64, rid RID) (promoted int64, right *bnode, added bool) {
+	if n.leaf {
+		t.touch(ctx, n, true)
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+		if i < len(n.keys) && n.keys[i] == key {
+			n.rids[i] = rid
+			return 0, nil, false
+		}
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.rids = append(n.rids, RID{})
+		copy(n.rids[i+1:], n.rids[i:])
+		n.rids[i] = rid
+		if len(n.keys) <= t.order {
+			return 0, nil, true
+		}
+		mid := len(n.keys) / 2
+		r := &bnode{leaf: true, next: n.next}
+		r.keys = append(r.keys, n.keys[mid:]...)
+		r.rids = append(r.rids, n.rids[mid:]...)
+		n.keys = n.keys[:mid:mid]
+		n.rids = n.rids[:mid:mid]
+		n.next = r
+		return r.keys[0], r, true
+	}
+
+	t.touch(ctx, n, false)
+	ci := childIndex(n.keys, key)
+	promoted, right, added = t.insert(ctx, n.children[ci], key, rid)
+	if right == nil {
+		return 0, nil, added
+	}
+	t.touch(ctx, n, true)
+	n.keys = append(n.keys, 0)
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = promoted
+	n.children = append(n.children, nil)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = right
+	if len(n.keys) <= t.order {
+		return 0, nil, added
+	}
+	mid := len(n.keys) / 2
+	up := n.keys[mid]
+	r := &bnode{}
+	r.keys = append(r.keys, n.keys[mid+1:]...)
+	r.children = append(r.children, n.children[mid+1:]...)
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return up, r, added
+}
+
+// Delete removes key, reporting whether it existed. Leaves are not
+// rebalanced (lazy deletion).
+func (t *BTree) Delete(ctx *exec.Ctx, key int64) bool {
+	n := t.root
+	for !n.leaf {
+		t.touch(ctx, n, false)
+		n = n.children[childIndex(n.keys, key)]
+	}
+	t.touch(ctx, n, true)
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	if i >= len(n.keys) || n.keys[i] != key {
+		return false
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.rids = append(n.rids[:i], n.rids[i+1:]...)
+	t.size--
+	return true
+}
+
+// Range calls fn for every key in [lo, hi] in ascending order until fn
+// returns false.
+func (t *BTree) Range(ctx *exec.Ctx, lo, hi int64, fn func(key int64, rid RID) bool) {
+	n := t.root
+	for !n.leaf {
+		t.touch(ctx, n, false)
+		n = n.children[childIndex(n.keys, lo)]
+	}
+	for n != nil {
+		t.touch(ctx, n, false)
+		for i, k := range n.keys {
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				return
+			}
+			if !fn(k, n.rids[i]) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// BulkLoad builds the tree from keys that MUST be sorted ascending, with the
+// given leaf fill fraction (0 < fill <= 1, e.g. 0.9). It replaces the tree's
+// contents and is the fast path for loading a partition at deployment time.
+func (t *BTree) BulkLoad(keys []int64, rid func(key int64) RID, fill float64) {
+	if fill <= 0 || fill > 1 {
+		fill = 0.9
+	}
+	per := int(float64(t.order) * fill)
+	if per < 1 {
+		per = 1
+	}
+	t.size = len(keys)
+	if len(keys) == 0 {
+		t.root = &bnode{leaf: true}
+		t.height = 1
+		return
+	}
+	// Build leaves.
+	var leaves []*bnode
+	for i := 0; i < len(keys); i += per {
+		end := i + per
+		if end > len(keys) {
+			end = len(keys)
+		}
+		leaf := &bnode{leaf: true}
+		for _, k := range keys[i:end] {
+			leaf.keys = append(leaf.keys, k)
+			leaf.rids = append(leaf.rids, rid(k))
+		}
+		if len(leaves) > 0 {
+			leaves[len(leaves)-1].next = leaf
+		}
+		leaves = append(leaves, leaf)
+	}
+	// Build inner levels.
+	level := leaves
+	t.height = 1
+	for len(level) > 1 {
+		var parents []*bnode
+		for i := 0; i < len(level); i += per + 1 {
+			end := i + per + 1
+			if end > len(level) {
+				end = len(level)
+			}
+			parent := &bnode{}
+			parent.children = append(parent.children, level[i:end]...)
+			for _, c := range level[i+1 : end] {
+				parent.keys = append(parent.keys, leftmostKey(c))
+			}
+			parents = append(parents, parent)
+		}
+		level = parents
+		t.height++
+	}
+	t.root = level[0]
+}
+
+func leftmostKey(n *bnode) int64 {
+	for !n.leaf {
+		n = n.children[0]
+	}
+	return n.keys[0]
+}
+
+// CheckInvariants verifies structural invariants: sorted keys, uniform leaf
+// depth, separator correctness, child counts, and leaf-chain order. It
+// returns a description of the first violation, or "".
+func (t *BTree) CheckInvariants() string {
+	depths := map[int]bool{}
+	var prevLeafMax *int64
+	var walk func(n *bnode, depth int, lo, hi *int64) string
+	walk = func(n *bnode, depth int, lo, hi *int64) string {
+		for i := 1; i < len(n.keys); i++ {
+			if n.keys[i-1] >= n.keys[i] {
+				return "keys out of order"
+			}
+		}
+		for _, k := range n.keys {
+			if lo != nil && k < *lo {
+				return "key below subtree bound"
+			}
+			if hi != nil && k >= *hi {
+				return "key above subtree bound"
+			}
+		}
+		if n.leaf {
+			depths[depth] = true
+			if len(depths) > 1 {
+				return "leaves at different depths"
+			}
+			if len(n.keys) != len(n.rids) {
+				return "leaf keys/rids mismatch"
+			}
+			for _, k := range n.keys {
+				k := k
+				if prevLeafMax != nil && k <= *prevLeafMax {
+					return "leaf chain out of order"
+				}
+				prevLeafMax = &k
+			}
+			return ""
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return "inner child count mismatch"
+		}
+		for i, c := range n.children {
+			var clo, chi *int64
+			if i > 0 {
+				clo = &n.keys[i-1]
+			} else {
+				clo = lo
+			}
+			if i < len(n.keys) {
+				chi = &n.keys[i]
+			} else {
+				chi = hi
+			}
+			if msg := walk(c, depth+1, clo, chi); msg != "" {
+				return msg
+			}
+		}
+		return ""
+	}
+	if msg := walk(t.root, 1, nil, nil); msg != "" {
+		return msg
+	}
+	// Leaf chain must enumerate exactly size keys.
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	count := 0
+	for ; n != nil; n = n.next {
+		count += len(n.keys)
+	}
+	if count != t.size {
+		return "leaf chain count disagrees with size"
+	}
+	return ""
+}

@@ -1,0 +1,190 @@
+// Package storage implements the data substrate of the engine: slotted heap
+// pages, fixed-width virtual tables, a B+tree index, a buffer pool with
+// clock eviction, and virtual disks. It corresponds to the lower half of
+// Shore-MT in the paper's prototype.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"islands/internal/latch"
+	"islands/internal/mem"
+)
+
+// PageSize is the size of a database page in bytes (Shore-MT default).
+const PageSize = 8192
+
+// pageHeaderSize is the fixed header: nSlots(2) freeOff(2) pad(4) pageLSN(8).
+const pageHeaderSize = 16
+
+// slotSize is one slot directory entry: offset(2) length(2).
+const slotSize = 4
+
+// TableID identifies a table within a deployment.
+type TableID int32
+
+// PageID identifies a page: a table and a page number within it.
+type PageID struct {
+	Table TableID
+	No    int64
+}
+
+func (p PageID) String() string { return fmt.Sprintf("t%d.p%d", p.Table, p.No) }
+
+// RID is a record identifier: page plus slot.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// Page is a slotted page. Records grow from the header down; the slot
+// directory grows from the end up. A deleted slot has length 0 and may be
+// reused by a later insert of equal or smaller size.
+//
+// HeaderLine is the coherence-tracked proxy for the page's hot metadata
+// (header word, latch word): every fix/latch of the page touches it, so
+// cross-core sharing of pages shows up in the memory model.
+type Page struct {
+	ID         PageID
+	HeaderLine mem.Line
+	Latch      latch.RW
+	Dirty      bool
+	PageLSN    uint64
+
+	data []byte
+}
+
+// NewPage returns an empty formatted page.
+func NewPage(id PageID) *Page {
+	p := &Page{ID: id, data: make([]byte, PageSize)}
+	p.setFreeOff(pageHeaderSize)
+	return p
+}
+
+// LoadPage wraps an existing image (from the backing store) as a page.
+func LoadPage(id PageID, img []byte) *Page {
+	if len(img) != PageSize {
+		panic("storage: page image has wrong size")
+	}
+	return &Page{ID: id, data: img}
+}
+
+// Image returns a copy of the page bytes for the backing store.
+func (p *Page) Image() []byte {
+	img := make([]byte, PageSize)
+	copy(img, p.data)
+	return img
+}
+
+func (p *Page) nSlots() int      { return int(binary.LittleEndian.Uint16(p.data[0:2])) }
+func (p *Page) setNSlots(n int)  { binary.LittleEndian.PutUint16(p.data[0:2], uint16(n)) }
+func (p *Page) freeOff() int     { return int(binary.LittleEndian.Uint16(p.data[2:4])) }
+func (p *Page) setFreeOff(o int) { binary.LittleEndian.PutUint16(p.data[2:4], uint16(o)) }
+
+func (p *Page) slotPos(i int) int { return PageSize - (i+1)*slotSize }
+
+func (p *Page) slot(i int) (off, length int) {
+	pos := p.slotPos(i)
+	return int(binary.LittleEndian.Uint16(p.data[pos : pos+2])),
+		int(binary.LittleEndian.Uint16(p.data[pos+2 : pos+4]))
+}
+
+func (p *Page) setSlot(i, off, length int) {
+	pos := p.slotPos(i)
+	binary.LittleEndian.PutUint16(p.data[pos:pos+2], uint16(off))
+	binary.LittleEndian.PutUint16(p.data[pos+2:pos+4], uint16(length))
+}
+
+// NumSlots returns the number of slot directory entries (including deleted).
+func (p *Page) NumSlots() int { return p.nSlots() }
+
+// FreeSpace returns the bytes available for a new record plus its slot.
+func (p *Page) FreeSpace() int {
+	free := PageSize - p.nSlots()*slotSize - p.freeOff() - slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Insert stores rec and returns its slot. ok is false when the page is full.
+// Records must be at least 2 bytes so deleted slots can remember their hole
+// capacity in place.
+func (p *Page) Insert(rec []byte) (slot uint16, ok bool) {
+	if len(rec) < 2 || len(rec) > PageSize {
+		return 0, false
+	}
+	// Reuse a deleted slot when the record fits in its hole; the hole's
+	// capacity is stored in its first two bytes (see Delete).
+	for i := 0; i < p.nSlots(); i++ {
+		off, length := p.slot(i)
+		if length != 0 {
+			continue
+		}
+		capacity := int(binary.LittleEndian.Uint16(p.data[off : off+2]))
+		if capacity >= len(rec) {
+			p.setSlot(i, off, len(rec))
+			copy(p.data[off:off+len(rec)], rec)
+			p.Dirty = true
+			return uint16(i), true
+		}
+	}
+	off := p.freeOff()
+	if PageSize-p.nSlots()*slotSize-off < len(rec)+slotSize {
+		return 0, false
+	}
+	copy(p.data[off:off+len(rec)], rec)
+	n := p.nSlots()
+	p.setSlot(n, off, len(rec))
+	p.setNSlots(n + 1)
+	p.setFreeOff(off + len(rec))
+	p.Dirty = true
+	return uint16(n), true
+}
+
+// Get returns the record at slot. ok is false for out-of-range or deleted
+// slots. The returned slice aliases page memory: callers must copy if they
+// retain it.
+func (p *Page) Get(slot uint16) (rec []byte, ok bool) {
+	if int(slot) >= p.nSlots() {
+		return nil, false
+	}
+	off, length := p.slot(int(slot))
+	if length == 0 {
+		return nil, false
+	}
+	return p.data[off : off+length], true
+}
+
+// Update overwrites the record at slot in place. The new record must have
+// the same length (fixed-width tables); ok is false otherwise.
+func (p *Page) Update(slot uint16, rec []byte) bool {
+	if int(slot) >= p.nSlots() {
+		return false
+	}
+	off, length := p.slot(int(slot))
+	if length != len(rec) || length == 0 {
+		return false
+	}
+	copy(p.data[off:off+length], rec)
+	p.Dirty = true
+	return true
+}
+
+// Delete removes the record at slot, leaving a reusable hole.
+func (p *Page) Delete(slot uint16) bool {
+	if int(slot) >= p.nSlots() {
+		return false
+	}
+	off, length := p.slot(int(slot))
+	if length == 0 {
+		return false
+	}
+	// Remember the hole capacity in the hole itself, mark deleted with
+	// length 0 so Get refuses the slot but Insert can reuse the space.
+	binary.LittleEndian.PutUint16(p.data[off:off+2], uint16(length))
+	p.setSlot(int(slot), off, 0)
+	p.Dirty = true
+	return true
+}

@@ -1,0 +1,70 @@
+package storage
+
+import "sort"
+
+// PageStore is the backing store behind a buffer pool: it resolves a page
+// miss either from the images of previously evicted dirty pages or by
+// synthesizing the page's initial contents from its table definition.
+type PageStore struct {
+	tables map[TableID]*Table
+	images map[PageID][]byte
+
+	Synthesized uint64
+	Restored    uint64
+}
+
+// NewPageStore returns an empty store.
+func NewPageStore() *PageStore {
+	return &PageStore{tables: make(map[TableID]*Table), images: make(map[PageID][]byte)}
+}
+
+// AddTable registers a table definition. It panics on duplicate IDs: table
+// identity is a deployment-time invariant.
+func (s *PageStore) AddTable(t *Table) {
+	if _, dup := s.tables[t.ID]; dup {
+		panic("storage: duplicate table " + t.Name)
+	}
+	s.tables[t.ID] = t
+}
+
+// Table returns a registered table definition, or nil.
+func (s *PageStore) Table(id TableID) *Table { return s.tables[id] }
+
+// Tables returns the number of registered tables.
+func (s *PageStore) Tables() int { return len(s.tables) }
+
+// SortedTables returns table definitions in id order (deterministic
+// iteration for prewarming).
+func (s *PageStore) SortedTables() []*Table {
+	out := make([]*Table, 0, len(s.tables))
+	for _, t := range s.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Fetch materializes the current contents of page id.
+func (s *PageStore) Fetch(id PageID) *Page {
+	if img, ok := s.images[id]; ok {
+		s.Restored++
+		return LoadPage(id, img)
+	}
+	t := s.tables[id.Table]
+	if t == nil {
+		panic("storage: fetch of page for unknown table")
+	}
+	if id.No < 0 || id.No >= t.NumPages() {
+		panic("storage: fetch of page beyond table end")
+	}
+	s.Synthesized++
+	return t.SynthesizePage(id.No)
+}
+
+// WriteBack persists the image of a dirty page being evicted.
+func (s *PageStore) WriteBack(p *Page) {
+	s.images[p.ID] = p.Image()
+}
+
+// ImageCount returns how many dirty-evicted page images are retained.
+func (s *PageStore) ImageCount() int { return len(s.images) }

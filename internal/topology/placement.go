@@ -1,0 +1,116 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Placement assigns worker threads to cores: worker i runs on Cores[i].
+// Several workers may share a core (the OS strategy allows it); the
+// simulation serializes them on the core's run queue like a real scheduler.
+type Placement struct {
+	Name  string
+	Cores []CoreID
+}
+
+// GroupPlacement puts n workers on the cores of a single socket, wrapping
+// around if n exceeds the socket's core count ("Grouped"/"Group" in the
+// paper's Figures 2 and 3).
+func GroupPlacement(m *Machine, n int, s SocketID) Placement {
+	cores := m.CoresOf(s)
+	p := Placement{Name: "group"}
+	for i := 0; i < n; i++ {
+		p.Cores = append(p.Cores, cores[i%len(cores)])
+	}
+	return p
+}
+
+// SpreadPlacement distributes n workers round-robin across sockets, using
+// distinct cores within each socket ("Spread" in Figures 2 and 3).
+func SpreadPlacement(m *Machine, n int) Placement {
+	p := Placement{Name: "spread"}
+	for i := 0; i < n; i++ {
+		s := i % m.SocketCount
+		idx := (i / m.SocketCount) % m.CoresPerSocket
+		p.Cores = append(p.Cores, CoreID(s*m.CoresPerSocket+idx))
+	}
+	return p
+}
+
+// MixPlacement assigns perSocket workers to each socket in turn ("Mix" in
+// Figure 3: two cores per socket).
+func MixPlacement(m *Machine, n, perSocket int) Placement {
+	p := Placement{Name: "mix"}
+	for i := 0; i < n; i++ {
+		s := (i / perSocket) % m.SocketCount
+		idx := i % perSocket
+		p.Cores = append(p.Cores, CoreID(s*m.CoresPerSocket+idx%m.CoresPerSocket))
+	}
+	return p
+}
+
+// OSPlacement models leaving placement to the operating system: workers land
+// on uniformly random cores, possibly sharing a core while other cores idle.
+// Combined with periodic migration in the engine, this reproduces the
+// higher variance and lower mean of the paper's "OS" bars.
+func OSPlacement(m *Machine, n int, rng *rand.Rand) Placement {
+	p := Placement{Name: "os"}
+	for i := 0; i < n; i++ {
+		p.Cores = append(p.Cores, CoreID(rng.Intn(m.NumCores())))
+	}
+	return p
+}
+
+// IslandPartition divides the machine's cores into n instances in a
+// topology-aware way: each instance receives a contiguous block of cores, so
+// instances never span more sockets than necessary and socket boundaries are
+// respected whenever n and the geometry allow ("N Islands" in Figure 4).
+// It panics if n does not divide the core count evenly — the paper's
+// configurations (1,2,4,8,12,24 on the quad; 1,8,80 etc. on the octo) all do.
+func IslandPartition(m *Machine, n int) [][]CoreID {
+	return partitionCores(m.AllCores(), n, "islands")
+}
+
+// SpreadPartition divides cores into n instances in a deliberately
+// topology-UNAWARE way: instance cores are dealt round-robin across sockets,
+// so every instance spans as many sockets as possible ("N Spread" in
+// Figure 4). Used as the ablation baseline for islands placement.
+func SpreadPartition(m *Machine, n int) [][]CoreID {
+	// Transpose the core matrix: visit core j of every socket before core
+	// j+1 of any socket, then cut into contiguous chunks.
+	ordered := make([]CoreID, 0, m.NumCores())
+	for j := 0; j < m.CoresPerSocket; j++ {
+		for s := 0; s < m.SocketCount; s++ {
+			ordered = append(ordered, CoreID(s*m.CoresPerSocket+j))
+		}
+	}
+	return partitionCores(ordered, n, "spread")
+}
+
+// PartitionSubset partitions only the given cores (e.g. the first k cores of
+// a machine for the core-scaling experiment of Figure 12) into n contiguous
+// instances.
+func PartitionSubset(cores []CoreID, n int) [][]CoreID {
+	return partitionCores(cores, n, "subset")
+}
+
+func partitionCores(cores []CoreID, n int, kind string) [][]CoreID {
+	if n <= 0 || len(cores)%n != 0 {
+		panic(fmt.Sprintf("topology: cannot split %d cores into %d equal %s instances", len(cores), n, kind))
+	}
+	per := len(cores) / n
+	out := make([][]CoreID, n)
+	for i := range out {
+		out[i] = append([]CoreID(nil), cores[i*per:(i+1)*per]...)
+	}
+	return out
+}
+
+// SocketsSpanned returns the number of distinct sockets covered by cores.
+func SocketsSpanned(m *Machine, cores []CoreID) int {
+	seen := make(map[SocketID]bool)
+	for _, c := range cores {
+		seen[m.SocketOf(c)] = true
+	}
+	return len(seen)
+}

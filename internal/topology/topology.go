@@ -1,0 +1,239 @@
+// Package topology models multisocket multicore machines: their socket/core
+// geometry, interconnect hop counts, and the latency parameters of the memory
+// hierarchy. It reproduces the two machines of Porobic et al. (VLDB 2012),
+// Table 2: a quad-socket 6-core/CPU server and an octo-socket 10-core/CPU
+// server, and provides the thread- and instance-placement strategies the
+// paper compares (spread, grouped, mix, OS, islands).
+package topology
+
+import (
+	"fmt"
+
+	"islands/internal/sim"
+)
+
+// CoreID identifies a hardware core; cores are numbered consecutively within
+// a socket, so socket s owns cores [s*CoresPerSocket, (s+1)*CoresPerSocket).
+type CoreID int
+
+// SocketID identifies a CPU socket.
+type SocketID int
+
+// Latencies holds the virtual-time cost parameters of the memory hierarchy,
+// in nanoseconds. They are calibrated so that the counter microbenchmarks of
+// the paper (Figure 2, Table 1) reproduce the published ratios.
+type Latencies struct {
+	L1  sim.Time // private L1 hit
+	L2  sim.Time // private L2 hit
+	LLC sim.Time // shared last-level cache hit, same socket
+
+	// Cache-to-cache transfer of a modified line.
+	C2CSameSocket  sim.Time // between cores of one socket
+	C2CCrossBase   sim.Time // first interconnect hop
+	C2CCrossPerHop sim.Time // each additional hop
+
+	DRAMLocal        sim.Time // memory attached to the local socket
+	DRAMRemoteBase   sim.Time // remote memory, first hop
+	DRAMRemotePerHop sim.Time // each additional hop
+}
+
+// Machine describes one server.
+type Machine struct {
+	Name           string
+	SocketCount    int
+	CoresPerSocket int
+	ClockGHz       float64
+
+	L1Bytes  int64 // per core
+	L2Bytes  int64 // per core
+	LLCBytes int64 // per socket
+	RAMBytes int64 // whole machine
+
+	Lat Latencies
+
+	// hops[a][b] is the number of interconnect hops between sockets a and b
+	// (0 on the diagonal).
+	hops [][]int
+}
+
+// NumCores returns the total number of cores.
+func (m *Machine) NumCores() int { return m.SocketCount * m.CoresPerSocket }
+
+// SocketOf returns the socket that owns core c.
+func (m *Machine) SocketOf(c CoreID) SocketID {
+	return SocketID(int(c) / m.CoresPerSocket)
+}
+
+// CoresOf returns the cores of socket s in ascending order.
+func (m *Machine) CoresOf(s SocketID) []CoreID {
+	cores := make([]CoreID, m.CoresPerSocket)
+	for i := range cores {
+		cores[i] = CoreID(int(s)*m.CoresPerSocket + i)
+	}
+	return cores
+}
+
+// AllCores returns every core in ascending order.
+func (m *Machine) AllCores() []CoreID {
+	cores := make([]CoreID, m.NumCores())
+	for i := range cores {
+		cores[i] = CoreID(i)
+	}
+	return cores
+}
+
+// Hops returns interconnect hops between two sockets (0 if equal).
+func (m *Machine) Hops(a, b SocketID) int { return m.hops[a][b] }
+
+// SameSocket reports whether two cores share a socket.
+func (m *Machine) SameSocket(a, b CoreID) bool { return m.SocketOf(a) == m.SocketOf(b) }
+
+// TransferCost returns the latency for core "to" to obtain a cache line last
+// owned by core "from" — the fundamental quantity behind every contention
+// effect in the paper.
+func (m *Machine) TransferCost(from, to CoreID) sim.Time {
+	if from == to {
+		return m.Lat.L1
+	}
+	sa, sb := m.SocketOf(from), m.SocketOf(to)
+	if sa == sb {
+		return m.Lat.C2CSameSocket
+	}
+	h := m.Hops(sa, sb)
+	return m.Lat.C2CCrossBase + sim.Time(h-1)*m.Lat.C2CCrossPerHop
+}
+
+// DRAMCost returns the latency for core c to load a line homed on socket
+// home.
+func (m *Machine) DRAMCost(c CoreID, home SocketID) sim.Time {
+	s := m.SocketOf(c)
+	if s == home {
+		return m.Lat.DRAMLocal
+	}
+	h := m.Hops(s, home)
+	return m.Lat.DRAMRemoteBase + sim.Time(h-1)*m.Lat.DRAMRemotePerHop
+}
+
+// MeanHops returns the average hop count over distinct socket pairs — a
+// measure of interconnect diameter used in reporting.
+func (m *Machine) MeanHops() float64 {
+	total, n := 0, 0
+	for a := 0; a < m.SocketCount; a++ {
+		for b := a + 1; b < m.SocketCount; b++ {
+			total += m.hops[a][b]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}
+
+func (m *Machine) String() string {
+	return fmt.Sprintf("%s: %d sockets x %d cores @ %.2f GHz, %d MB LLC/socket",
+		m.Name, m.SocketCount, m.CoresPerSocket, m.ClockGHz, m.LLCBytes>>20)
+}
+
+// defaultLatencies is the calibrated latency set shared by both machines.
+// Values are typical of Nehalem-EX class parts and were tuned so the Table 1
+// counter experiment reproduces the paper's 18.5x / 517x speedup ladder.
+func defaultLatencies() Latencies {
+	return Latencies{
+		L1:               2,
+		L2:               5,
+		LLC:              15,
+		C2CSameSocket:    18,
+		C2CCrossBase:     55,
+		C2CCrossPerHop:   12,
+		DRAMLocal:        65,
+		DRAMRemoteBase:   105,
+		DRAMRemotePerHop: 20,
+	}
+}
+
+// fullyConnected builds a hop matrix where every socket pair is one hop.
+func fullyConnected(n int) [][]int {
+	h := make([][]int, n)
+	for i := range h {
+		h[i] = make([]int, n)
+		for j := range h[i] {
+			if i != j {
+				h[i][j] = 1
+			}
+		}
+	}
+	return h
+}
+
+// cube3 builds the hop matrix of an 8-socket machine with 3 QPI links per
+// CPU arranged as a 3-cube: hops = Hamming distance of the 3-bit socket ids
+// (1..3), matching the Supermicro X8OBN board referenced by the paper.
+func cube3() [][]int {
+	h := make([][]int, 8)
+	for i := range h {
+		h[i] = make([]int, 8)
+		for j := range h[i] {
+			x := i ^ j
+			d := 0
+			for x != 0 {
+				d += x & 1
+				x >>= 1
+			}
+			h[i][j] = d
+		}
+	}
+	return h
+}
+
+// QuadSocket models the paper's 4 x Intel Xeon E7530 server: 4 sockets,
+// 6 cores each, fully connected with QPI, 64 GB RAM, 12 MB L3 per socket.
+func QuadSocket() *Machine {
+	return &Machine{
+		Name:           "quad-socket",
+		SocketCount:    4,
+		CoresPerSocket: 6,
+		ClockGHz:       1.86,
+		L1Bytes:        64 << 10,
+		L2Bytes:        256 << 10,
+		LLCBytes:       12 << 20,
+		RAMBytes:       64 << 30,
+		Lat:            defaultLatencies(),
+		hops:           fullyConnected(4),
+	}
+}
+
+// OctoSocket models the paper's 8 x Intel Xeon E7-L8867 server: 8 sockets,
+// 10 cores each, 3 QPI links per CPU (so some socket pairs are multiple
+// hops), 192 GB RAM, 30 MB L3 per socket.
+func OctoSocket() *Machine {
+	return &Machine{
+		Name:           "octo-socket",
+		SocketCount:    8,
+		CoresPerSocket: 10,
+		ClockGHz:       2.13,
+		L1Bytes:        64 << 10,
+		L2Bytes:        256 << 10,
+		LLCBytes:       30 << 20,
+		RAMBytes:       192 << 30,
+		Lat:            defaultLatencies(),
+		hops:           cube3(),
+	}
+}
+
+// Custom builds a machine with the given geometry and default latencies,
+// fully connected. Useful for tests and what-if advisor questions.
+func Custom(name string, sockets, coresPerSocket int, llcBytes int64) *Machine {
+	return &Machine{
+		Name:           name,
+		SocketCount:    sockets,
+		CoresPerSocket: coresPerSocket,
+		ClockGHz:       2.0,
+		L1Bytes:        64 << 10,
+		L2Bytes:        256 << 10,
+		LLCBytes:       llcBytes,
+		RAMBytes:       64 << 30,
+		Lat:            defaultLatencies(),
+		hops:           fullyConnected(sockets),
+	}
+}

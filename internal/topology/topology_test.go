@@ -1,0 +1,238 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuadSocketGeometry(t *testing.T) {
+	m := QuadSocket()
+	if m.NumCores() != 24 {
+		t.Fatalf("NumCores = %d, want 24", m.NumCores())
+	}
+	if m.SocketOf(0) != 0 || m.SocketOf(5) != 0 || m.SocketOf(6) != 1 || m.SocketOf(23) != 3 {
+		t.Error("SocketOf boundaries wrong")
+	}
+	cores := m.CoresOf(2)
+	if len(cores) != 6 || cores[0] != 12 || cores[5] != 17 {
+		t.Errorf("CoresOf(2) = %v", cores)
+	}
+	// Fully connected: every distinct pair is one hop.
+	for a := SocketID(0); a < 4; a++ {
+		for b := SocketID(0); b < 4; b++ {
+			want := 1
+			if a == b {
+				want = 0
+			}
+			if m.Hops(a, b) != want {
+				t.Errorf("Hops(%d,%d) = %d, want %d", a, b, m.Hops(a, b), want)
+			}
+		}
+	}
+}
+
+func TestOctoSocketGeometry(t *testing.T) {
+	m := OctoSocket()
+	if m.NumCores() != 80 {
+		t.Fatalf("NumCores = %d, want 80", m.NumCores())
+	}
+	// 3-cube: hops = Hamming distance of socket ids.
+	if m.Hops(0, 7) != 3 {
+		t.Errorf("Hops(0,7) = %d, want 3", m.Hops(0, 7))
+	}
+	if m.Hops(0, 1) != 1 || m.Hops(0, 3) != 2 {
+		t.Error("cube hop counts wrong")
+	}
+	// Every socket has exactly 3 one-hop neighbors (3 QPI links per CPU).
+	for a := SocketID(0); a < 8; a++ {
+		n := 0
+		for b := SocketID(0); b < 8; b++ {
+			if m.Hops(a, b) == 1 {
+				n++
+			}
+		}
+		if n != 3 {
+			t.Errorf("socket %d has %d direct links, want 3", a, n)
+		}
+	}
+	if mh := m.MeanHops(); mh <= 1 || mh >= 2 {
+		t.Errorf("MeanHops = %v, want in (1,2)", mh)
+	}
+}
+
+func TestTransferCostOrdering(t *testing.T) {
+	m := OctoSocket()
+	sameCore := m.TransferCost(0, 0)
+	sameSocket := m.TransferCost(0, 1)
+	oneHop := m.TransferCost(0, 10)   // socket 0 -> 1
+	threeHop := m.TransferCost(0, 70) // socket 0 -> 7
+	if !(sameCore < sameSocket && sameSocket < oneHop && oneHop < threeHop) {
+		t.Errorf("transfer costs not monotone: %v %v %v %v", sameCore, sameSocket, oneHop, threeHop)
+	}
+}
+
+func TestDRAMCost(t *testing.T) {
+	m := QuadSocket()
+	local := m.DRAMCost(0, 0)
+	remote := m.DRAMCost(0, 3)
+	if local != m.Lat.DRAMLocal {
+		t.Errorf("local DRAM = %v, want %v", local, m.Lat.DRAMLocal)
+	}
+	if remote <= local {
+		t.Errorf("remote DRAM %v not > local %v", remote, local)
+	}
+}
+
+func TestGroupPlacement(t *testing.T) {
+	m := QuadSocket()
+	p := GroupPlacement(m, 4, 2)
+	for _, c := range p.Cores {
+		if m.SocketOf(c) != 2 {
+			t.Errorf("core %d not on socket 2", c)
+		}
+	}
+	if len(p.Cores) != 4 {
+		t.Fatalf("len = %d, want 4", len(p.Cores))
+	}
+	// Wrapping: more workers than cores reuses cores.
+	p = GroupPlacement(m, 8, 0)
+	if p.Cores[6] != p.Cores[0] {
+		t.Error("expected wrap-around onto same cores")
+	}
+}
+
+func TestSpreadPlacementDistinctSockets(t *testing.T) {
+	m := QuadSocket()
+	p := SpreadPlacement(m, 4)
+	seen := map[SocketID]bool{}
+	for _, c := range p.Cores {
+		seen[m.SocketOf(c)] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("spread of 4 workers covers %d sockets, want 4", len(seen))
+	}
+	// 24 workers must use all 24 distinct cores.
+	p = SpreadPlacement(m, 24)
+	distinct := map[CoreID]bool{}
+	for _, c := range p.Cores {
+		distinct[c] = true
+	}
+	if len(distinct) != 24 {
+		t.Errorf("spread of 24 workers uses %d distinct cores, want 24", len(distinct))
+	}
+}
+
+func TestMixPlacement(t *testing.T) {
+	m := QuadSocket()
+	p := MixPlacement(m, 4, 2)
+	if s0, s1 := m.SocketOf(p.Cores[0]), m.SocketOf(p.Cores[1]); s0 != s1 {
+		t.Error("first two workers should share a socket")
+	}
+	if s1, s2 := m.SocketOf(p.Cores[1]), m.SocketOf(p.Cores[2]); s1 == s2 {
+		t.Error("worker 2 and 3 should be on different sockets")
+	}
+}
+
+func TestOSPlacementInRange(t *testing.T) {
+	m := OctoSocket()
+	rng := rand.New(rand.NewSource(7))
+	p := OSPlacement(m, 100, rng)
+	for _, c := range p.Cores {
+		if c < 0 || int(c) >= m.NumCores() {
+			t.Fatalf("core %d out of range", c)
+		}
+	}
+}
+
+func TestIslandPartitionAlignment(t *testing.T) {
+	m := QuadSocket()
+	// 4 islands on a quad: exactly one socket each.
+	parts := IslandPartition(m, 4)
+	for i, cores := range parts {
+		if got := SocketsSpanned(m, cores); got != 1 {
+			t.Errorf("island %d spans %d sockets, want 1", i, got)
+		}
+		if len(cores) != 6 {
+			t.Errorf("island %d has %d cores, want 6", i, len(cores))
+		}
+	}
+	// 2 islands: two sockets each, never three.
+	for i, cores := range IslandPartition(m, 2) {
+		if got := SocketsSpanned(m, cores); got != 2 {
+			t.Errorf("2ISL island %d spans %d sockets, want 2", i, got)
+		}
+	}
+	// 8 islands: each within one socket.
+	for i, cores := range IslandPartition(m, 8) {
+		if got := SocketsSpanned(m, cores); got != 1 {
+			t.Errorf("8ISL island %d spans %d sockets, want 1", i, got)
+		}
+	}
+	// 24 islands: single core each.
+	for _, cores := range IslandPartition(m, 24) {
+		if len(cores) != 1 {
+			t.Error("24ISL should have 1 core per island")
+		}
+	}
+}
+
+func TestSpreadPartitionSpansSockets(t *testing.T) {
+	m := QuadSocket()
+	// The topology-unaware baseline: 4 instances, each spanning all sockets.
+	for i, cores := range SpreadPartition(m, 4) {
+		if got := SocketsSpanned(m, cores); got != 4 {
+			t.Errorf("spread instance %d spans %d sockets, want 4", i, got)
+		}
+	}
+}
+
+func TestPartitionCoverageProperty(t *testing.T) {
+	m := QuadSocket()
+	f := func(pick uint8) bool {
+		ns := []int{1, 2, 3, 4, 6, 8, 12, 24}
+		n := ns[int(pick)%len(ns)]
+		for _, parts := range [][][]CoreID{IslandPartition(m, n), SpreadPartition(m, n)} {
+			seen := map[CoreID]int{}
+			for _, cores := range parts {
+				for _, c := range cores {
+					seen[c]++
+				}
+			}
+			if len(seen) != 24 {
+				return false
+			}
+			for _, n := range seen {
+				if n != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionSubset(t *testing.T) {
+	m := QuadSocket()
+	cores := m.AllCores()[:12]
+	parts := PartitionSubset(cores, 2)
+	if len(parts) != 2 || len(parts[0]) != 6 {
+		t.Fatalf("bad subset partition: %v", parts)
+	}
+	if SocketsSpanned(m, parts[0]) != 1 || SocketsSpanned(m, parts[1]) != 1 {
+		t.Error("subset partition should align with sockets")
+	}
+}
+
+func TestPartitionPanicsOnUneven(t *testing.T) {
+	m := QuadSocket()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for uneven partition")
+		}
+	}()
+	IslandPartition(m, 5)
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"math/rand"
+
+	"islands/internal/engine"
+	"islands/internal/storage"
+)
+
+// PartitionInfo is what a generator needs to know about the deployment's
+// partitioning: how many instances there are and which global key range
+// each instance owns. core.RangePartitioner satisfies it.
+type PartitionInfo interface {
+	Instances() int
+	Range(table storage.TableID, instance int) (base, rows int64)
+}
+
+// MicroConfig parameterizes the paper's microbenchmark (Section 5.2):
+// transactions read or update RowsPerTxn rows. Local transactions touch
+// rows of the submitting worker's partition; multisite transactions touch
+// one local row plus RowsPerTxn-1 rows drawn uniformly (or Zipf-skewed)
+// from the whole range — some of which may happen to be local, exactly as
+// in the paper.
+type MicroConfig struct {
+	Table        storage.TableID
+	GlobalRows   int64
+	RowsPerTxn   int
+	Write        bool
+	PctMultisite float64 // 0..1
+	ZipfS        float64 // 0 = uniform
+	Seed         int64
+}
+
+// Micro generates microbenchmark requests. It is deterministic per
+// (instance, worker) stream and safe for the simulator's single-threaded
+// execution model.
+type Micro struct {
+	cfg   MicroConfig
+	part  PartitionInfo
+	zipfs *zipfCache
+	rngs  map[[2]int32]*rand.Rand
+}
+
+// NewMicro builds a generator over the deployment described by part.
+func NewMicro(cfg MicroConfig, part PartitionInfo) *Micro {
+	if cfg.RowsPerTxn < 1 {
+		panic("workload: RowsPerTxn must be >= 1")
+	}
+	return &Micro{cfg: cfg, part: part, zipfs: newZipfCache(), rngs: make(map[[2]int32]*rand.Rand)}
+}
+
+func (m *Micro) rng(inst engine.InstanceID, worker int) *rand.Rand {
+	k := [2]int32{int32(inst), int32(worker)}
+	r := m.rngs[k]
+	if r == nil {
+		r = rand.New(rand.NewSource(m.cfg.Seed + int64(inst)*1315423911 + int64(worker)*2654435761))
+		m.rngs[k] = r
+	}
+	return r
+}
+
+func (m *Micro) kind() engine.OpKind {
+	if m.cfg.Write {
+		return engine.OpUpdate
+	}
+	return engine.OpRead
+}
+
+// Next implements engine.RequestSource.
+func (m *Micro) Next(inst engine.InstanceID, worker int) engine.Request {
+	rng := m.rng(inst, worker)
+	base, localRows := m.part.Range(m.cfg.Table, int(inst))
+	localZipf := m.zipfs.get(localRows, m.cfg.ZipfS)
+	kind := m.kind()
+
+	ops := make([]engine.Op, 0, m.cfg.RowsPerTxn)
+	seen := make(map[int64]bool, m.cfg.RowsPerTxn)
+	add := func(key int64) {
+		seen[key] = true
+		ops = append(ops, engine.Op{Table: m.cfg.Table, Key: key, Kind: kind})
+	}
+	// draw samples until an unseen key appears; under heavy skew duplicates
+	// are accepted after a few tries (the engine treats re-locked rows as
+	// already covered).
+	draw := func(sample func() int64) {
+		for tries := 0; ; tries++ {
+			key := sample()
+			if !seen[key] && tries < 8 {
+				add(key)
+				return
+			}
+			if tries >= 8 {
+				add(key)
+				return
+			}
+		}
+	}
+
+	multisite := rng.Float64() < m.cfg.PctMultisite
+	// First row is always local to the submitting worker's partition.
+	add(base + localZipf.Sample(rng))
+	if multisite {
+		globalZipf := m.zipfs.get(m.cfg.GlobalRows, m.cfg.ZipfS)
+		for len(ops) < m.cfg.RowsPerTxn {
+			draw(func() int64 { return globalZipf.Sample(rng) })
+		}
+	} else {
+		for len(ops) < m.cfg.RowsPerTxn {
+			draw(func() int64 { return base + localZipf.Sample(rng) })
+		}
+	}
+	return engine.Request{Ops: ops}
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math/rand"
+
+	"islands/internal/engine"
+	"islands/internal/storage"
+)
+
+// TPC-C subset: the tables touched by the Payment transaction, sized per
+// the specification (10 districts per warehouse, 3000 customers per
+// district), partitioned by warehouse exactly as the paper partitions the
+// benchmark across instances.
+const (
+	TPCCWarehouse storage.TableID = 10
+	TPCCDistrict  storage.TableID = 11
+	TPCCCustomer  storage.TableID = 12
+	TPCCHistory   storage.TableID = 13
+
+	DistrictsPerWarehouse = 10
+	CustomersPerDistrict  = 3000
+)
+
+// Row widths approximate the TPC-C schema's record sizes.
+const (
+	warehouseRowBytes = 96
+	districtRowBytes  = 102
+	customerRowBytes  = 655
+	historyRowBytes   = 46
+)
+
+// TPCCTables returns the table declarations for a given warehouse count, in
+// the shape core.Config expects (importing package converts; kept as plain
+// data to avoid a dependency cycle).
+type TPCCTable struct {
+	ID       storage.TableID
+	Name     string
+	RowBytes int
+	Rows     int64
+}
+
+// TPCCTableSet builds the four Payment tables for w warehouses.
+func TPCCTableSet(w int) []TPCCTable {
+	wr := int64(w)
+	return []TPCCTable{
+		{TPCCWarehouse, "warehouse", warehouseRowBytes, wr},
+		{TPCCDistrict, "district", districtRowBytes, wr * DistrictsPerWarehouse},
+		{TPCCCustomer, "customer", customerRowBytes, wr * DistrictsPerWarehouse * CustomersPerDistrict},
+		{TPCCHistory, "history", historyRowBytes, wr * DistrictsPerWarehouse * CustomersPerDistrict / 10},
+	}
+}
+
+// TPCCConfig parameterizes the Payment generator.
+type TPCCConfig struct {
+	Warehouses int
+	// RemotePct is the probability the paying customer belongs to a remote
+	// warehouse (15% per the TPC-C specification). The paper's Figure 7
+	// variant sets it to 0: perfectly partitionable.
+	RemotePct float64
+	Seed      int64
+}
+
+// Payment generates TPC-C Payment transactions: update the warehouse and
+// district year-to-date totals, update the customer's balance, and insert a
+// history record at the home warehouse.
+type Payment struct {
+	cfg  TPCCConfig
+	part PartitionInfo
+	rngs map[[2]int32]*rand.Rand
+}
+
+// NewPayment builds the generator.
+func NewPayment(cfg TPCCConfig, part PartitionInfo) *Payment {
+	if cfg.Warehouses < 1 {
+		panic("workload: Payment needs >= 1 warehouse")
+	}
+	return &Payment{cfg: cfg, part: part, rngs: make(map[[2]int32]*rand.Rand)}
+}
+
+func (g *Payment) rng(inst engine.InstanceID, worker int) *rand.Rand {
+	k := [2]int32{int32(inst), int32(worker)}
+	r := g.rngs[k]
+	if r == nil {
+		r = rand.New(rand.NewSource(g.cfg.Seed + int64(inst)*40503 + int64(worker)*9973))
+		g.rngs[k] = r
+	}
+	return r
+}
+
+// Next implements engine.RequestSource. The home warehouse is drawn from
+// the submitting instance's partition (clients connect to the instance that
+// owns their warehouse, as in the paper's setup).
+func (g *Payment) Next(inst engine.InstanceID, worker int) engine.Request {
+	rng := g.rng(inst, worker)
+	base, localW, _ := g.localWarehouses(int(inst))
+	w := base + rng.Int63n(localW)
+	d := rng.Int63n(DistrictsPerWarehouse)
+
+	// Customer: 85% home district, 15% (RemotePct) a random district of a
+	// random other warehouse.
+	cw, cd := w, d
+	if g.cfg.Warehouses > 1 && rng.Float64() < g.cfg.RemotePct {
+		for {
+			cw = rng.Int63n(int64(g.cfg.Warehouses))
+			if cw != w {
+				break
+			}
+		}
+		cd = rng.Int63n(DistrictsPerWarehouse)
+	}
+	c := rng.Int63n(CustomersPerDistrict)
+
+	districtKey := w*DistrictsPerWarehouse + d
+	customerKey := (cw*DistrictsPerWarehouse+cd)*CustomersPerDistrict + c
+	// History insert goes to the home warehouse's partition; any key in the
+	// partition selects it (inserts allocate their own key).
+	historyBase, _ := g.part.Range(TPCCHistory, int(inst))
+
+	return engine.Request{Ops: []engine.Op{
+		{Table: TPCCWarehouse, Key: w, Kind: engine.OpUpdate},
+		{Table: TPCCDistrict, Key: districtKey, Kind: engine.OpUpdate},
+		{Table: TPCCCustomer, Key: customerKey, Kind: engine.OpUpdate},
+		{Table: TPCCHistory, Key: historyBase, Kind: engine.OpInsert},
+	}}
+}
+
+// localWarehouses returns the warehouse range of an instance.
+func (g *Payment) localWarehouses(inst int) (base, count int64, ok bool) {
+	base, count = g.part.Range(TPCCWarehouse, inst)
+	if count < 1 {
+		count = 1
+	}
+	return base, count, true
+}

@@ -1,0 +1,225 @@
+// Package islands is a reproduction of "OLTP on Hardware Islands"
+// (Porobic, Pandis, Branco, Tözün, Ailamaki — PVLDB 5(11), 2012) as a Go
+// library: a Shore-MT-class transactional storage manager, a shared-nothing
+// prototype with a two-phase-commit coordinator, and an islands deployment
+// layer that places database instances in a hardware-topology-aware way —
+// all executed on a deterministic discrete-event simulation of multisocket
+// multicore machines.
+//
+// The public API re-exports the building blocks a downstream user needs:
+//
+//   - machines: QuadSocket, OctoSocket, Custom (hardware topology models);
+//   - deployments: Config/NewDeployment build N range-partitioned engine
+//     instances placed as islands (or deliberately spread), Run measures
+//     throughput and breakdowns over simulated time;
+//   - workloads: the paper's microbenchmarks (NewMicroWorkload) and TPC-C
+//     Payment (NewPaymentWorkload);
+//   - the advisor: Advise picks the island size for a workload, answering
+//     the paper's future-work question;
+//   - experiments: Experiments/RunExperiment regenerate every table and
+//     figure of the paper.
+//
+// See examples/ for runnable walkthroughs and DESIGN.md for how the
+// simulation substitutes for the paper's hardware.
+package islands
+
+import (
+	"islands/internal/core"
+	"islands/internal/engine"
+	"islands/internal/exec"
+	"islands/internal/harness"
+	"islands/internal/ipc"
+	"islands/internal/sim"
+	"islands/internal/storage"
+	"islands/internal/topology"
+	"islands/internal/wal"
+	"islands/internal/workload"
+)
+
+// Machine describes a multisocket multicore server.
+type Machine = topology.Machine
+
+// CoreID identifies a hardware core.
+type CoreID = topology.CoreID
+
+// Machines of the paper's testbed (Table 2).
+var (
+	QuadSocket = topology.QuadSocket
+	OctoSocket = topology.OctoSocket
+)
+
+// CustomMachine builds a fully-connected machine with the given geometry.
+func CustomMachine(name string, sockets, coresPerSocket int, llcBytes int64) *Machine {
+	return topology.Custom(name, sockets, coresPerSocket, llcBytes)
+}
+
+// Config describes a deployment: machine, instance count, placement, data.
+type Config = core.Config
+
+// TableDecl declares one global table of a deployment.
+type TableDecl = core.TableDecl
+
+// Placement strategies (Figure 4).
+const (
+	PlacementIslands = core.PlacementIslands
+	PlacementSpread  = core.PlacementSpread
+	PlacementOS      = core.PlacementOS
+)
+
+// Disk choices.
+const (
+	DiskMMap = core.DiskMMap
+	DiskHDD  = core.DiskHDD
+)
+
+// Mechanisms for the IPC layer (Figure 6). UnixSocket is the default and
+// the paper's choice.
+const (
+	UnixSocket = ipc.UnixSocket
+	TCPSocket  = ipc.TCPSocket
+	Pipe       = ipc.Pipe
+	FIFO       = ipc.FIFO
+	PosixQueue = ipc.PosixQueue
+)
+
+// Deployment is a built set of database instances on a simulated machine.
+type Deployment = core.Deployment
+
+// Measurement is the result of a measured window.
+type Measurement = core.Measurement
+
+// Request/operation types for custom workloads.
+type (
+	Request       = engine.Request
+	Op            = engine.Op
+	RequestSource = engine.RequestSource
+	InstanceID    = engine.InstanceID
+)
+
+// Operation kinds.
+const (
+	OpRead   = engine.OpRead
+	OpUpdate = engine.OpUpdate
+	OpInsert = engine.OpInsert
+)
+
+// Time is virtual time in nanoseconds.
+type Time = sim.Time
+
+// Virtual time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// DefaultConfig returns the paper's standard single-table microbenchmark
+// dataset (250-byte rows) on machine m with the given instance count.
+func DefaultConfig(m *Machine, instances int, rows int64) Config {
+	return core.DefaultConfig(m, instances, rows)
+}
+
+// NewDeployment builds and loads a deployment.
+func NewDeployment(cfg Config) *Deployment { return core.NewDeployment(cfg) }
+
+// MicroConfig parameterizes the paper's microbenchmark: RowsPerTxn rows are
+// read or updated; PctMultisite of transactions touch rows outside the
+// submitting partition; ZipfS skews row choice.
+type MicroConfig = workload.MicroConfig
+
+// NewMicroWorkload builds the microbenchmark request source for deployment
+// d.
+func NewMicroWorkload(cfg MicroConfig, d *Deployment) RequestSource {
+	return workload.NewMicro(cfg, d.Part)
+}
+
+// TPCCConfig parameterizes the TPC-C Payment generator.
+type TPCCConfig = workload.TPCCConfig
+
+// TPCCTables returns the table declarations for w warehouses, ready for
+// Config.Tables.
+func TPCCTables(w int) []TableDecl {
+	var out []TableDecl
+	for _, t := range workload.TPCCTableSet(w) {
+		out = append(out, TableDecl{ID: t.ID, Name: t.Name, RowBytes: t.RowBytes, Rows: t.Rows})
+	}
+	return out
+}
+
+// NewPaymentWorkload builds the TPC-C Payment request source.
+func NewPaymentWorkload(cfg TPCCConfig, d *Deployment) RequestSource {
+	return workload.NewPayment(cfg, d.Part)
+}
+
+// Advice is the advisor's ranked recommendation.
+type Advice = core.Advice
+
+// AdvisorOptions tune the advisor's calibration runs.
+type AdvisorOptions = core.AdvisorOptions
+
+// DefaultAdvisorOptions returns sensible advisor settings.
+func DefaultAdvisorOptions() AdvisorOptions { return core.DefaultAdvisorOptions() }
+
+// Advise recommends an island size (instance count) for a microbenchmark
+// profile with the given multisite fraction, calibrating the paper's
+// throughput model T = (1-p)*Tlocal + p*Tdistr per candidate on the actual
+// machine model. This implements the paper's stated future work.
+func Advise(base Config, candidates []int, pMultisite float64, mc MicroConfig, opts AdvisorOptions) Advice {
+	factory := func(d *core.Deployment, p float64) engine.RequestSource {
+		c := mc
+		c.PctMultisite = p
+		return workload.NewMicro(c, d.Part)
+	}
+	return core.Advise(base, candidates, pMultisite, factory, opts)
+}
+
+// Experiment reproduces one of the paper's tables or figures.
+type Experiment = harness.Experiment
+
+// ExperimentOptions tune experiment runs.
+type ExperimentOptions = harness.Options
+
+// ExperimentResult is an experiment's formatted output.
+type ExperimentResult = harness.Result
+
+// Experiments returns every registered reproduction (fig2..fig14, table1).
+func Experiments() []Experiment { return harness.All() }
+
+// RunExperiment runs the experiment with the given id ("fig9", "table1",
+// ...). ok is false for unknown ids.
+func RunExperiment(id string, opt ExperimentOptions) (*ExperimentResult, bool) {
+	e, ok := harness.Get(id)
+	if !ok {
+		return nil, false
+	}
+	return e.Run(opt), true
+}
+
+// WalOptions configures logging (group commit, flush latency, Aether-style
+// consolidation).
+type WalOptions = wal.Options
+
+// DefaultWalOptions returns the paper's logging setup (group commit,
+// memory-mapped log device).
+func DefaultWalOptions() WalOptions { return wal.DefaultOptions() }
+
+// TableID identifies a table.
+type TableID = storage.TableID
+
+// Breakdown buckets per-transaction time by component (Figure 11).
+type Breakdown = exec.Breakdown
+
+// Bucket names one breakdown component.
+type Bucket = exec.Bucket
+
+// Breakdown components.
+const (
+	BucketExecution     = exec.BExec
+	BucketXctManagement = exec.BXct
+	BucketLocking       = exec.BLock
+	BucketLatching      = exec.BLatch
+	BucketLogging       = exec.BLog
+	BucketCommunication = exec.BComm
+	BucketIO            = exec.BIO
+	BucketScheduling    = exec.BSched
+)

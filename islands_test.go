@@ -1,0 +1,114 @@
+package islands_test
+
+import (
+	"testing"
+
+	"islands"
+)
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	machine := islands.QuadSocket()
+	if machine.NumCores() != 24 {
+		t.Fatalf("quad-socket has %d cores", machine.NumCores())
+	}
+	cfg := islands.DefaultConfig(machine, 4, 24000)
+	d := islands.NewDeployment(cfg)
+	defer d.Close()
+	d.Start(islands.NewMicroWorkload(islands.MicroConfig{
+		Table: 1, GlobalRows: 24000, RowsPerTxn: 4, PctMultisite: 0.2, Seed: 1,
+	}, d))
+	m := d.Run(500*islands.Microsecond, 4*islands.Millisecond)
+	if m.Committed == 0 || m.ThroughputTPS <= 0 {
+		t.Fatal("deployment did no work")
+	}
+	if m.Multisite == 0 {
+		t.Error("expected multisite transactions at 20%")
+	}
+	bd := m.BreakdownPerTxn()
+	if bd[islands.BucketExecution] <= 0 {
+		t.Error("breakdown missing execution time")
+	}
+	if d.Label() != "4ISL" {
+		t.Errorf("label = %s", d.Label())
+	}
+}
+
+func TestPublicAPICustomMachineAndPlacement(t *testing.T) {
+	m := islands.CustomMachine("duo", 2, 4, 8<<20)
+	cfg := islands.DefaultConfig(m, 2, 8000)
+	cfg.Placement = islands.PlacementSpread
+	d := islands.NewDeployment(cfg)
+	defer d.Close()
+	d.Start(islands.NewMicroWorkload(islands.MicroConfig{
+		Table: 1, GlobalRows: 8000, RowsPerTxn: 2, Seed: 2,
+	}, d))
+	if m2 := d.Run(200*islands.Microsecond, 2*islands.Millisecond); m2.Committed == 0 {
+		t.Fatal("custom machine deployment idle")
+	}
+}
+
+func TestPublicAPITPCCPayment(t *testing.T) {
+	machine := islands.QuadSocket()
+	cfg := islands.Config{
+		Machine:   machine,
+		Instances: 4,
+		Placement: islands.PlacementIslands,
+		Mechanism: islands.UnixSocket,
+		Tables:    islands.TPCCTables(24),
+		Wal:       islands.DefaultWalOptions(),
+	}
+	d := islands.NewDeployment(cfg)
+	defer d.Close()
+	d.Start(islands.NewPaymentWorkload(islands.TPCCConfig{
+		Warehouses: 24, RemotePct: 0.15, Seed: 3,
+	}, d))
+	m := d.Run(500*islands.Microsecond, 4*islands.Millisecond)
+	if m.Committed == 0 {
+		t.Fatal("no payments committed")
+	}
+	if m.Prepares == 0 {
+		t.Error("15% remote customers should force some 2PC prepares")
+	}
+}
+
+func TestPublicAPICustomRequestSource(t *testing.T) {
+	machine := islands.QuadSocket()
+	cfg := islands.DefaultConfig(machine, 2, 2400)
+	d := islands.NewDeployment(cfg)
+	defer d.Close()
+	d.Start(fixedReads{})
+	if m := d.Run(200*islands.Microsecond, 2*islands.Millisecond); m.Committed == 0 {
+		t.Fatal("custom source produced no commits")
+	}
+}
+
+// fixedReads demonstrates implementing islands.RequestSource directly.
+type fixedReads struct{}
+
+func (fixedReads) Next(inst islands.InstanceID, worker int) islands.Request {
+	return islands.Request{Ops: []islands.Op{{Table: 1, Key: 7, Kind: islands.OpRead}}}
+}
+
+func TestExperimentsRegistryViaFacade(t *testing.T) {
+	if len(islands.Experiments()) < 12 {
+		t.Fatalf("only %d experiments registered", len(islands.Experiments()))
+	}
+	res, ok := islands.RunExperiment("fig6", islands.ExperimentOptions{Quick: true, Seed: 1})
+	if !ok || len(res.Tables) == 0 {
+		t.Fatal("fig6 did not run via facade")
+	}
+	if _, ok := islands.RunExperiment("nope", islands.ExperimentOptions{}); ok {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+func TestAdviseViaFacade(t *testing.T) {
+	machine := islands.QuadSocket()
+	base := islands.DefaultConfig(machine, 1, 24000)
+	mc := islands.MicroConfig{Table: 1, GlobalRows: 24000, RowsPerTxn: 4, Seed: 5}
+	opts := islands.AdvisorOptions{Warmup: 300 * islands.Microsecond, Window: 2 * islands.Millisecond}
+	adv := islands.Advise(base, []int{1, 24}, 0, mc, opts)
+	if adv.Best.Instances != 24 {
+		t.Errorf("advisor picked %dISL for local-only reads, want 24", adv.Best.Instances)
+	}
+}
