@@ -1,0 +1,82 @@
+// Command islandsprobe emits a determinism fingerprint of the simulation:
+// the kernel event count and throughput of a reference deployment run, plus
+// every table value of the quick-mode experiments at a fixed seed.
+//
+// Two builds of the repo simulate identically if and only if their probe
+// outputs are byte-identical; CI and performance work diff the output before
+// and after a change to prove the optimization did not alter simulated
+// behavior.
+//
+// Usage:
+//
+//	islandsprobe [-seed N] [-experiments]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"islands"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "workload and placement seed")
+	experiments := flag.Bool("experiments", false, "also fingerprint every quick-mode experiment (slow)")
+	flag.Parse()
+
+	probeDeployments(*seed)
+	if *experiments {
+		probeExperiments(*seed)
+	}
+}
+
+// probeDeployments runs reference deployments spanning the interesting
+// configuration corners (shared-everything, islands, fine-grained; reads and
+// writes; local and multisite) and prints the raw kernel/measurement numbers.
+func probeDeployments(seed int64) {
+	machine := islands.QuadSocket()
+	cases := []struct {
+		name      string
+		instances int
+		mc        islands.MicroConfig
+		localOnly bool
+	}{
+		{"1ISL-update-local", 1, islands.MicroConfig{RowsPerTxn: 10, Write: true}, false},
+		{"4ISL-read-multisite", 4, islands.MicroConfig{RowsPerTxn: 10, PctMultisite: 0.2}, false},
+		{"24ISL-read-local", 24, islands.MicroConfig{RowsPerTxn: 10}, true},
+	}
+	for _, c := range cases {
+		cfg := islands.DefaultConfig(machine, c.instances, 240000)
+		cfg.Seed = seed
+		cfg.LocalOnly = c.localOnly
+		mc := c.mc
+		mc.Table = 1
+		mc.GlobalRows = 240000
+		mc.Seed = seed + 1
+		d := islands.NewDeployment(cfg)
+		d.Start(islands.NewMicroWorkload(mc, d))
+		m := d.Run(500*islands.Microsecond, 3*islands.Millisecond)
+		fmt.Printf("deployment %-22s events=%d committed=%d tps=%.6f\n",
+			c.name, d.Kernel.Events(), m.Committed, m.ThroughputTPS)
+		d.Close()
+	}
+}
+
+// probeExperiments prints every cell of every quick-mode experiment table at
+// full float precision.
+func probeExperiments(seed int64) {
+	opt := islands.ExperimentOptions{Quick: true, Seed: seed}
+	for _, e := range islands.Experiments() {
+		res, ok := islands.RunExperiment(e.ID, opt)
+		if !ok {
+			panic("probe: unknown experiment " + e.ID)
+		}
+		for _, t := range res.Tables {
+			for i, row := range t.Rows {
+				for j, col := range t.Cols {
+					fmt.Printf("%s/%s/%s/%s = %.9g\n", e.ID, t.Name, row, col, t.Values[i][j])
+				}
+			}
+		}
+	}
+}

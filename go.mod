@@ -1,0 +1,3 @@
+module islands
+
+go 1.24

@@ -121,7 +121,20 @@ type Instance struct {
 	pending map[uint64]*Txn
 	opts    Options
 
+	// scratch stages one row image for synchronous use (synthesize-then-
+	// insert); it must never be held across an operation that consumes
+	// virtual time.
+	scratch []byte
+
 	Stats Stats
+}
+
+// rowScratch returns the instance's staging buffer, grown to n bytes.
+func (in *Instance) rowScratch(n int) []byte {
+	if cap(in.scratch) < n {
+		in.scratch = make([]byte, n)
+	}
+	return in.scratch[:n]
 }
 
 // NewInstance builds (and loads) an instance on the given cores.
@@ -167,11 +180,7 @@ func NewInstance(k *sim.Kernel, topo *topology.Machine, model *mem.Model,
 		def := &storage.Table{ID: spec.ID, Name: spec.Name, RowBytes: spec.RowBytes, NumRows: spec.LocalRows}
 		in.store.AddTable(def)
 		idx := storage.NewBTree(0)
-		keys := make([]int64, spec.LocalRows)
-		for i := range keys {
-			keys[i] = int64(i)
-		}
-		idx.BulkLoad(keys, def.Locate, 0.9)
+		idx.BulkLoadRange(spec.LocalRows, def.Locate, 0.9)
 		in.tables[spec.ID] = &tableState{def: def, idx: idx}
 		totalPages += def.NumPages()
 		totalBytes += def.Bytes()

@@ -21,6 +21,18 @@ type Txn struct {
 	nUpdates   int  // row version bumps (atomicity accounting)
 	lastLSN    wal.LSN
 	undo       []undoEntry
+
+	// undoBuf is the arena behind the undo entries' before-images: one
+	// growing buffer per transaction instead of one allocation per updated
+	// row.
+	undoBuf []byte
+}
+
+// saveBefore copies a before-image into the transaction's undo arena.
+func (t *Txn) saveBefore(row []byte) []byte {
+	n := len(t.undoBuf)
+	t.undoBuf = append(t.undoBuf, row...)
+	return t.undoBuf[n:len(t.undoBuf):len(t.undoBuf)]
 }
 
 type undoEntry struct {
@@ -121,8 +133,11 @@ func (t *Txn) updateRow(ctx *exec.Ctx, ts *tableState, key int64) error {
 	if !ok || storage.RowKey(row) != key {
 		panic(fmt.Sprintf("engine: corrupt row at %v for key %d", rid, key))
 	}
-	before := append([]byte(nil), row...)
-	after := append([]byte(nil), row...)
+	// Both images live in the transaction's arena: virtual time passes
+	// between here and the log append, so a shared scratch buffer could be
+	// overwritten by a concurrent worker before the log retains the record.
+	before := t.saveBefore(row)
+	after := t.saveBefore(row)
 	storage.BumpRowVersion(after)
 	if !pg.Update(rid.Slot, after) {
 		panic("engine: in-place update failed")
@@ -171,21 +186,26 @@ func (t *Txn) insertRow(ctx *exec.Ctx, ts *tableState) error {
 	if ok && storage.RowKey(row) == key {
 		// Freshly synthesized page already materialized the row.
 	} else {
-		buf := make([]byte, ts.def.RowBytes)
+		// The scratch is used strictly synchronously: Insert copies it into
+		// the page before any virtual time can pass, and row then aliases
+		// the page-resident (pinned, X-locked) copy.
+		buf := in.rowScratch(ts.def.RowBytes)
 		ts.def.SynthesizeRow(key, buf)
 		slot, ok := pg.Insert(buf)
 		if !ok {
 			panic("engine: insert into full page")
 		}
 		rid = storage.RID{Page: want.Page, Slot: slot}
-		row = buf
+		row, _ = pg.Get(slot)
 	}
 	ctx.WriteData(&in.ws, ts.def.RowBytes)
 	ctx.Charge(CostPerRowCPU)
 	ts.idx.Insert(ctx, key, rid)
+	// Append reads only the image length (and deep-copies under Retain), so
+	// passing the transient row is safe.
 	t.lastLSN = in.wal.Append(ctx, wal.Record{
 		Type: wal.RecUpdate, Txn: t.TS, Table: ts.def.ID, Key: key,
-		After: append([]byte(nil), row...),
+		After: row,
 	})
 	t.undo = append(t.undo, undoEntry{table: ts.def.ID, rid: rid, key: key, insert: true})
 	t.updated = true

@@ -16,6 +16,11 @@ type Options struct {
 	// Quick shrinks sweeps and windows for CI and go test; the full mode
 	// reproduces every point of the paper's charts.
 	Quick bool
+	// Short (used together with Quick) shrinks the quick sweeps further, to
+	// the minimum grid this repo's own tests assert on: the `go test -short`
+	// mode. Experiment result shapes still hold; intermediate sweep points
+	// are dropped.
+	Short bool
 	// Seed perturbs workloads and OS placements.
 	Seed int64
 }

@@ -13,7 +13,9 @@ func runExp(t *testing.T, id string) *Result {
 	if !ok {
 		t.Fatalf("experiment %s not registered", id)
 	}
-	res := e.Run(quick)
+	opt := quick
+	opt.Short = testing.Short()
+	res := e.Run(opt)
 	if res.ID != id {
 		t.Fatalf("result id %s, want %s", res.ID, id)
 	}

@@ -32,6 +32,9 @@ func runFig12(opt Options) *Result {
 		cases[0].steps = []int{6, 24}
 		cases[1].steps = []int{20, 80}
 	}
+	if opt.Short {
+		cases = cases[:1] // quad-socket only; the 80-core sweep dominates runtime
+	}
 	for _, write := range []bool{false, true} {
 		kind := "read-only"
 		if write {
@@ -78,6 +81,9 @@ func runFig13(opt Options) *Result {
 	if opt.Quick {
 		skews = []float64{0, 0.5, 1.0}
 		pcts = []float64{0, 0.2}
+	}
+	if opt.Short {
+		skews = []float64{0, 1.0}
 	}
 	configs := []int{24, 4, 1}
 	rows := make([]string, len(configs))
@@ -129,6 +135,10 @@ func runFig14(opt Options) *Result {
 	if opt.Quick {
 		sizes = []int64{2400, 240000, 720000}
 		labels = []string{"0.24M", "24M", "72M"}
+	}
+	if opt.Short {
+		sizes = []int64{2400, 720000}
+		labels = []string{"0.24M", "72M"}
 	}
 	// 12 GB / 250 B = 48M rows; /100 = 480000 rows of buffer pool.
 	const bpRows = 480000

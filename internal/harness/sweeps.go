@@ -16,6 +16,9 @@ func runFig9(opt Options) *Result {
 	if opt.Quick {
 		pcts = []float64{0, 0.2, 1}
 	}
+	if opt.Short {
+		pcts = []float64{0, 1}
+	}
 	configs := []int{24, 4, 1}
 
 	cols := make([]string, len(pcts))
@@ -62,6 +65,9 @@ func runFig10(opt Options) *Result {
 	if opt.Quick {
 		rowsPerTxn = []int{2, 10, 40}
 		configs = []int{24, 4, 1}
+	}
+	if opt.Short {
+		rowsPerTxn = []int{2, 10}
 	}
 	cols := make([]string, len(rowsPerTxn))
 	for j, r := range rowsPerTxn {

@@ -128,6 +128,38 @@ type bucket struct {
 	heads map[Key]*head
 }
 
+type heldLock struct {
+	key  Key
+	mode Mode
+}
+
+// ownerLocks is one transaction's held set, kept in acquisition order.
+// Releasing in insertion order keeps runs deterministic (Go map iteration is
+// not), and a transaction holds at most a few dozen locks, so a linear scan
+// beats hashing.
+type ownerLocks struct {
+	locks []heldLock
+}
+
+func (o *ownerLocks) find(key Key) (Mode, bool) {
+	for i := range o.locks {
+		if o.locks[i].key == key {
+			return o.locks[i].mode, true
+		}
+	}
+	return None, false
+}
+
+func (o *ownerLocks) set(key Key, mode Mode) {
+	for i := range o.locks {
+		if o.locks[i].key == key {
+			o.locks[i].mode = mode
+			return
+		}
+	}
+	o.locks = append(o.locks, heldLock{key: key, mode: mode})
+}
+
 // Manager is one instance's lock table.
 type Manager struct {
 	// Enabled gates all locking; a disabled manager is free (single-threaded
@@ -135,7 +167,9 @@ type Manager struct {
 	Enabled bool
 
 	buckets [bucketCount]bucket
-	held    map[uint64]map[Key]Mode
+	held    map[uint64]*ownerLocks
+	free    []*ownerLocks // recycled held sets (allocation-free steady state)
+	lines   []*mem.Line   // ReleaseAll scratch
 
 	// Stats.
 	Acquires uint64
@@ -147,7 +181,7 @@ type Manager struct {
 // NewManager returns a lock manager; enabled=false makes every operation a
 // no-op.
 func NewManager(enabled bool) *Manager {
-	m := &Manager{Enabled: enabled, held: make(map[uint64]map[Key]Mode)}
+	m := &Manager{Enabled: enabled, held: make(map[uint64]*ownerLocks)}
 	for i := range m.buckets {
 		m.buckets[i].heads = make(map[Key]*head)
 	}
@@ -160,10 +194,29 @@ func (m *Manager) bucketOf(k Key) *bucket {
 }
 
 // Held returns the number of locks owner currently holds.
-func (m *Manager) Held(owner uint64) int { return len(m.held[owner]) }
+func (m *Manager) Held(owner uint64) int {
+	if o := m.held[owner]; o != nil {
+		return len(o.locks)
+	}
+	return 0
+}
 
 // HeldMode returns the mode owner holds on key (None if not held).
-func (m *Manager) HeldMode(owner uint64, key Key) Mode { return m.held[owner][key] }
+func (m *Manager) HeldMode(owner uint64, key Key) Mode {
+	if o := m.held[owner]; o != nil {
+		mode, _ := o.find(key)
+		return mode
+	}
+	return None
+}
+
+// chargeAcquire pays the fixed cost of one lock-table interaction: a
+// coherent write of the bucket's line plus the acquire CPU. A plain
+// function (not a closure) keeps the hot path allocation-free.
+func chargeAcquire(ctx *exec.Ctx, b *bucket) {
+	ctx.WriteLine(&b.line)
+	ctx.Charge(CostAcquireCPU)
+}
 
 // Acquire obtains key in mode for owner, blocking in FIFO order behind
 // conflicting transactions. The owner id doubles as the wait-die timestamp:
@@ -181,18 +234,19 @@ func (m *Manager) Acquire(ctx *exec.Ctx, owner uint64, key Key, mode Mode) error
 	// latched. Costs are paid afterwards.
 	b := m.bucketOf(key)
 	m.Acquires++
-	charge := func() {
-		ctx.WriteLine(&b.line)
-		ctx.Charge(CostAcquireCPU)
-	}
 
 	hm := m.held[owner]
-	if cur, ok := hm[key]; ok && covers(cur, mode) {
-		charge()
+	var cur Mode
+	var holds bool
+	if hm != nil {
+		cur, holds = hm.find(key)
+	}
+	if holds && covers(cur, mode) {
+		chargeAcquire(ctx, b)
 		return nil // already held strongly enough
 	}
 	want := mode
-	if cur, ok := hm[key]; ok {
+	if holds {
 		want = lub(cur, mode) // upgrade
 	}
 
@@ -204,7 +258,7 @@ func (m *Manager) Acquire(ctx *exec.Ctx, owner uint64, key Key, mode Mode) error
 
 	if m.grantable(h, owner, want) {
 		m.grant(h, owner, key, want)
-		charge()
+		chargeAcquire(ctx, b)
 		return nil
 	}
 
@@ -215,28 +269,28 @@ func (m *Manager) Acquire(ctx *exec.Ctx, owner uint64, key Key, mode Mode) error
 	for _, e := range h.granted {
 		if e.owner != owner && owner > e.owner {
 			m.Dies++
-			charge()
+			chargeAcquire(ctx, b)
 			return ErrDie
 		}
 	}
 	for _, w := range h.waiters {
 		if w.owner != owner && owner > w.owner {
 			m.Dies++
-			charge()
+			chargeAcquire(ctx, b)
 			return ErrDie
 		}
 	}
 
 	m.Waits++
 	req := &waitReq{owner: owner, mode: want, proc: ctx.P}
-	if _, upgrading := hm[key]; upgrading {
+	if holds {
 		// Upgrades go to the front: the owner already holds the object and
 		// blocks everyone behind it anyway.
 		h.waiters = append([]*waitReq{req}, h.waiters...)
 	} else {
 		h.waiters = append(h.waiters, req)
 	}
-	charge()
+	chargeAcquire(ctx, b)
 	t0 := ctx.P.Now()
 	ctx.Block(func() {
 		for !req.granted {
@@ -279,11 +333,16 @@ func addGrant(h *head, owner uint64, mode Mode) {
 func (m *Manager) grant(h *head, owner uint64, key Key, mode Mode) {
 	hm := m.held[owner]
 	if hm == nil {
-		hm = make(map[Key]Mode)
+		if n := len(m.free) - 1; n >= 0 {
+			hm = m.free[n]
+			m.free = m.free[:n]
+		} else {
+			hm = &ownerLocks{}
+		}
 		m.held[owner] = hm
 	}
 	addGrant(h, owner, mode)
-	hm[key] = mode
+	hm.set(key, mode)
 }
 
 // ReleaseAll drops every lock owner holds (strict 2PL release at
@@ -293,18 +352,24 @@ func (m *Manager) ReleaseAll(ctx *exec.Ctx, owner uint64) {
 		return
 	}
 	hm := m.held[owner]
-	if len(hm) == 0 {
+	if hm == nil || len(hm.locks) == 0 {
 		delete(m.held, owner)
 		return
 	}
 	prev := ctx.Bucket(exec.BLock)
 	defer ctx.Bucket(prev)
-	// Bookkeeping first (atomic), then pay the per-lock release costs.
-	var lines []*mem.Line
-	for key := range hm {
-		b := m.bucketOf(key)
+	// Bookkeeping first (atomic), in acquisition order, then pay the
+	// per-lock release costs. The scratch is detached from the manager for
+	// the duration of the call: the charge loop consumes virtual time, so a
+	// concurrently releasing transaction can re-enter ReleaseAll and must
+	// not reuse this call's backing array.
+	lines := m.lines
+	m.lines = nil
+	lines = lines[:0]
+	for _, hl := range hm.locks {
+		b := m.bucketOf(hl.key)
 		lines = append(lines, &b.line)
-		h := b.heads[key]
+		h := b.heads[hl.key]
 		for i := range h.granted {
 			if h.granted[i].owner == owner {
 				h.granted = append(h.granted[:i], h.granted[i+1:]...)
@@ -313,14 +378,17 @@ func (m *Manager) ReleaseAll(ctx *exec.Ctx, owner uint64) {
 		}
 		m.dispatch(h)
 		if len(h.granted) == 0 && len(h.waiters) == 0 {
-			delete(b.heads, key)
+			delete(b.heads, hl.key)
 		}
 	}
 	delete(m.held, owner)
+	hm.locks = hm.locks[:0]
+	m.free = append(m.free, hm)
 	for _, line := range lines {
 		ctx.WriteLine(line)
 		ctx.Charge(CostReleaseCPU)
 	}
+	m.lines = lines[:0] // reattach (a concurrent releaser's buffer may lose)
 }
 
 // dispatch grants the maximal FIFO prefix of compatible waiters.

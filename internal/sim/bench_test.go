@@ -1,0 +1,124 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernelWake measures the schedule->wake cycle of a single Proc
+// consuming virtual time with nothing else runnable: the kernel-context fast
+// path, where Advance bumps the clock inline. Must report 0 allocs/op.
+func BenchmarkKernelWake(b *testing.B) {
+	k := NewKernel()
+	defer k.Close()
+	k.Spawn("w", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(1)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+	b.ReportMetric(float64(k.Events())/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkKernelWakeContended measures the same cycle with a second Proc
+// interleaving at every timestamp, forcing the slow path: every Advance
+// parks in the timer heap and transfers control through the kernel.
+func BenchmarkKernelWakeContended(b *testing.B) {
+	k := NewKernel()
+	defer k.Close()
+	for w := 0; w < 2; w++ {
+		k.Spawn("w", func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Advance(1)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+	b.ReportMetric(float64(k.Events())/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkQueueHandoff measures a producer/consumer pair exchanging items
+// through a Queue: Push/unpark on one side, Pop/park on the other.
+func BenchmarkQueueHandoff(b *testing.B) {
+	k := NewKernel()
+	defer k.Close()
+	q := NewQueue[int](k)
+	k.Spawn("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Push(i)
+			p.Advance(1)
+		}
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Pop(p)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+	b.ReportMetric(float64(k.Events())/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkQueuePopFunc measures the kernel-context consumer path: delivery
+// runs the callback synchronously inside Push, with no Proc at all.
+func BenchmarkQueuePopFunc(b *testing.B) {
+	k := NewKernel()
+	defer k.Close()
+	q := NewQueue[int](k)
+	sum := 0
+	q.PopFunc(func(v int) { sum += v })
+	k.Spawn("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Push(i)
+			p.Advance(1)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+	b.ReportMetric(float64(k.Events())/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkTimerHeap measures raw event scheduling and dispatch through the
+// 4-ary heap at a steady queue depth of 1024 timers, with no Procs involved.
+func BenchmarkTimerHeap(b *testing.B) {
+	k := NewKernel()
+	defer k.Close()
+	const depth = 1024
+	fired := 0
+	var tick func()
+	tick = func() {
+		if fired < b.N {
+			fired++
+			k.After(Time(1+fired%7), tick)
+		}
+	}
+	for i := 0; i < depth && i < b.N; i++ {
+		fired++
+		k.After(Time(1+i%7), tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+	b.ReportMetric(float64(k.Events())/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkPushAfter measures deferred queue delivery (the IPC wire-latency
+// path): slot-parked values dispatched by pre-bound kernel callbacks.
+func BenchmarkPushAfter(b *testing.B) {
+	k := NewKernel()
+	defer k.Close()
+	q := NewQueue[int](k)
+	k.Spawn("echo", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.PushAfter(3, i)
+			q.Pop(p)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+	b.ReportMetric(float64(k.Events())/b.Elapsed().Seconds(), "events/s")
+}

@@ -1,104 +1,224 @@
 package sim
 
-import "container/heap"
+import "math"
 
-// event is a single entry in the kernel's timeline. fn runs on the kernel
-// goroutine and must not block; waking a Proc is done by handing control to
-// its goroutine and waiting for it to yield back.
+// event is a single entry in the kernel's timeline. Exactly one payload form
+// is set:
+//
+//   - proc: wake the Proc (hand control to its coroutine);
+//   - fn: run a kernel-context callback;
+//   - fnArg: run an argument-carrying kernel-context callback; the (fnArg,
+//     arg) pair lets long-lived components (e.g. Queue's deferred deliveries)
+//     schedule with one pre-bound closure instead of allocating a fresh
+//     closure per event.
+//
+// Kernel-context callbacks must not block; they may push to queues, unpark
+// procs, or schedule more events. Storing the event as a tagged struct — by
+// value, in a flat heap — means the common "wake proc" event needs no
+// closure and no interface boxing.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at    Time
+	seq   uint64
+	proc  *Proc
+	fn    func()
+	fnArg func(uint32)
+	arg   uint32
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (at, seq): timestamp first, insertion order on
+// ties, which is what makes runs deterministic.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event   { return h[0] }
-func (h eventHeap) empty() bool   { return len(h) == 0 }
+
+// timerHeap is a 4-ary min-heap of events. The 4-ary layout halves the depth
+// of a binary heap and keeps a node's children within two cache lines;
+// push/pop are allocation-free once the backing array has grown to the
+// simulation's working set.
+type timerHeap struct {
+	ev []event
+}
+
+func (h *timerHeap) len() int    { return len(h.ev) }
+func (h *timerHeap) empty() bool { return len(h.ev) == 0 }
+
+func (h *timerHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !h.ev[i].before(&h.ev[p]) {
+			break
+		}
+		h.ev[i], h.ev[p] = h.ev[p], h.ev[i]
+		i = p
+	}
+}
+
+func (h *timerHeap) pop() event {
+	top := h.ev[0]
+	n := len(h.ev) - 1
+	h.ev[0] = h.ev[n]
+	h.ev[n] = event{} // release fn/proc references to the GC
+	h.ev = h.ev[:n]
+	if n > 1 {
+		h.siftDown()
+	}
+	return top
+}
+
+func (h *timerHeap) siftDown() {
+	n := len(h.ev)
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		min := i
+		for c := first; c < last; c++ {
+			if h.ev[c].before(&h.ev[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			return
+		}
+		h.ev[i], h.ev[min] = h.ev[min], h.ev[i]
+		i = min
+	}
+}
+
+// Horizon sentinels: noHorizon forbids any inline clock advance (single-step
+// mode); maxHorizon allows procs to advance freely (Run).
+const (
+	noHorizon  Time = math.MinInt64
+	maxHorizon Time = math.MaxInt64
+)
 
 // Kernel owns the virtual clock, the event queue, and all Procs.
 // It is not safe for concurrent use; the simulation itself provides all the
 // concurrency that is being modeled.
 type Kernel struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	yield   chan struct{}
+	now  Time
+	seq  uint64
+	heap timerHeap
+
+	// horizon bounds the kernel-context fast path: a Proc may consume
+	// virtual time inline (without parking in the heap and handing control
+	// to the kernel goroutine) only up to this timestamp. Run lifts it to
+	// maxHorizon; RunUntil(t) sets it to t so the clock never overshoots;
+	// single Step calls pin it to noHorizon so exactly one event runs.
+	horizon Time
+
 	procs   []*Proc
 	nEvents uint64
-	failure any // pending panic value from a Proc, re-raised by the kernel
 }
 
 // NewKernel returns an empty kernel at virtual time zero.
 func NewKernel() *Kernel {
-	return &Kernel{yield: make(chan struct{})}
+	return &Kernel{horizon: noHorizon}
 }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
 // Events returns the number of events executed so far (a determinism probe
-// and a rough measure of simulation effort).
+// and a rough measure of simulation effort). Events that the fast path
+// elides from the heap — a Proc bumping the clock for its own wakeup — are
+// counted exactly as if they had been queued and popped, so the counter is
+// identical across fast- and slow-path executions.
 func (k *Kernel) Events() uint64 { return k.nEvents }
 
 // Pending returns the number of events waiting in the timeline.
-func (k *Kernel) Pending() int { return len(k.events) }
+func (k *Kernel) Pending() int { return k.heap.len() }
 
-func (k *Kernel) schedule(at Time, fn func()) {
+func (k *Kernel) clamp(at Time) Time {
 	if at < k.now {
-		at = k.now
+		return k.now
 	}
-	k.seq++
-	heap.Push(&k.events, event{at: at, seq: k.seq, fn: fn})
+	return at
 }
 
-// After schedules fn to run on the kernel goroutine d from now.
+func (k *Kernel) scheduleFn(at Time, fn func()) {
+	k.seq++
+	k.heap.push(event{at: k.clamp(at), seq: k.seq, fn: fn})
+}
+
+func (k *Kernel) scheduleProc(at Time, p *Proc) {
+	k.seq++
+	k.heap.push(event{at: k.clamp(at), seq: k.seq, proc: p})
+}
+
+func (k *Kernel) scheduleArg(at Time, fn func(uint32), arg uint32) {
+	k.seq++
+	k.heap.push(event{at: k.clamp(at), seq: k.seq, fnArg: fn, arg: arg})
+}
+
+// After schedules fn to run in kernel context d from now.
 // fn must not block; it may push to queues, unpark procs, or schedule more
 // events.
 func (k *Kernel) After(d Time, fn func()) {
-	k.schedule(k.now+d, fn)
+	k.scheduleFn(k.now+d, fn)
+}
+
+// dispatch executes one popped event. Proc panics and kernel-context
+// callback panics both unwind through here into Step/Run.
+func (k *Kernel) dispatch(e *event) {
+	switch {
+	case e.proc != nil:
+		k.wake(e.proc)
+	case e.fn != nil:
+		e.fn()
+	default:
+		e.fnArg(e.arg)
+	}
+}
+
+// step executes the next event under the current horizon.
+func (k *Kernel) step() bool {
+	if k.heap.empty() {
+		return false
+	}
+	e := k.heap.pop()
+	k.now = e.at
+	k.nEvents++
+	k.dispatch(&e)
+	return true
 }
 
 // Step executes the next event, if any, and reports whether one ran.
+// Procs woken by the event park in the heap for any further time they
+// consume, so repeated Step calls interleave exactly like Run.
 func (k *Kernel) Step() bool {
-	if k.events.empty() {
-		return false
-	}
-	ev := heap.Pop(&k.events).(event)
-	k.now = ev.at
-	k.nEvents++
-	ev.fn()
-	if k.failure != nil {
-		f := k.failure
-		k.failure = nil
-		panic(f)
-	}
-	return true
+	k.horizon = noHorizon
+	return k.step()
 }
 
 // Run executes events until the timeline is empty. Procs parked on empty
 // queues or condition variables do not keep the simulation alive.
 func (k *Kernel) Run() {
-	for k.Step() {
+	k.horizon = maxHorizon
+	for k.step() {
 	}
+	k.horizon = noHorizon
 }
 
 // RunUntil executes events with timestamps <= t and then advances the clock
 // to exactly t.
 func (k *Kernel) RunUntil(t Time) {
-	for !k.events.empty() && k.events.peek().at <= t {
-		k.Step()
+	k.horizon = t
+	for !k.heap.empty() && k.heap.ev[0].at <= t {
+		k.step()
 	}
+	k.horizon = noHorizon
 	if k.now < t {
 		k.now = t
 	}
@@ -107,19 +227,17 @@ func (k *Kernel) RunUntil(t Time) {
 // RunFor executes events for d of virtual time from now.
 func (k *Kernel) RunFor(d Time) { k.RunUntil(k.now + d) }
 
-// Close kills every live Proc so their goroutines exit. The kernel must be
+// Close kills every live Proc so their coroutines exit. The kernel must be
 // idle (called from outside Run). A closed kernel must not be reused.
 func (k *Kernel) Close() {
 	for _, p := range k.procs {
-		if p.started && !p.dead {
-			p.resume <- sigKill
-			<-k.yield
+		if !p.dead {
+			p.stop()
 		}
 		p.dead = true
 	}
 	k.procs = nil
-	k.events = nil
-	k.failure = nil
+	k.heap.ev = nil
 }
 
 // LiveProcs returns the number of procs that have started and not finished,

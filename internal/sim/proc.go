@@ -1,13 +1,8 @@
 package sim
 
-type procSignal int
+import "iter"
 
-const (
-	sigRun procSignal = iota
-	sigKill
-)
-
-// errKilled is the sentinel panic value used to unwind a Proc's goroutine
+// killedError is the sentinel panic value used to unwind a Proc's coroutine
 // when the kernel is closed.
 type killedError struct{}
 
@@ -15,37 +10,50 @@ func (killedError) Error() string { return "sim: proc killed by kernel close" }
 
 var errKilled = killedError{}
 
-// Proc is a simulated thread. Its function runs on a dedicated goroutine,
-// but the kernel guarantees that at most one Proc executes at a time, so Proc
-// code may freely touch shared simulation state without synchronization.
+// Proc is a simulated thread. Its function runs on a dedicated coroutine
+// (an iter.Pull goroutine that the kernel resumes with a direct switch, not
+// through the Go scheduler), and the kernel guarantees that at most one Proc
+// executes at a time, so Proc code may freely touch shared simulation state
+// without synchronization.
 //
 // A Proc consumes virtual time only through Advance (or primitives built on
 // it); plain Go computation between kernel interactions is instantaneous in
 // virtual time.
 type Proc struct {
-	k       *Kernel
-	name    string
-	id      int
-	resume  chan procSignal
+	k    *Kernel
+	name string
+	id   int
+
+	// next resumes the coroutine; yield (captured on first resume) hands
+	// control back; stop unwinds the coroutine for kernel Close.
+	next  func() (struct{}, bool)
+	stop  func()
+	yield func(struct{}) bool
+
 	started bool
 	dead    bool
 	fn      func(*Proc)
 }
 
+func (k *Kernel) newProc(name string, fn func(*Proc)) *Proc {
+	p := &Proc{k: k, name: name, id: len(k.procs), fn: fn}
+	p.next, p.stop = iter.Pull(p.body)
+	k.procs = append(k.procs, p)
+	return p
+}
+
 // Spawn creates a Proc that begins running fn at the current virtual time.
 // The name is for diagnostics only.
 func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
-	p := &Proc{k: k, name: name, id: len(k.procs), resume: make(chan procSignal), fn: fn}
-	k.procs = append(k.procs, p)
-	k.schedule(k.now, func() { k.wake(p) })
+	p := k.newProc(name, fn)
+	k.scheduleProc(k.now, p)
 	return p
 }
 
 // SpawnAt is Spawn with a start delay.
 func (k *Kernel) SpawnAt(d Time, name string, fn func(*Proc)) *Proc {
-	p := &Proc{k: k, name: name, id: len(k.procs), resume: make(chan procSignal), fn: fn}
-	k.procs = append(k.procs, p)
-	k.schedule(k.now+d, func() { k.wake(p) })
+	p := k.newProc(name, fn)
+	k.scheduleProc(k.now+d, p)
 	return p
 }
 
@@ -61,49 +69,87 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.k.now }
 
-// wake transfers control to p's goroutine and blocks the kernel goroutine
-// until p yields back (by advancing, parking, or finishing).
+// wake transfers control to p's coroutine and returns when p yields back
+// (by advancing, parking, or finishing). A panic in p propagates out of the
+// resume, i.e. up through Step/Run to the simulation driver.
 func (k *Kernel) wake(p *Proc) {
 	if p.dead {
 		return
 	}
-	if !p.started {
-		p.started = true
-		go p.main()
-	} else {
-		p.resume <- sigRun
-	}
-	<-k.yield
+	p.started = true
+	p.next()
 }
 
-func (p *Proc) main() {
+// body is the coroutine entry point.
+func (p *Proc) body(yield func(struct{}) bool) {
+	p.yield = yield
 	defer func() {
 		p.dead = true
 		if r := recover(); r != nil {
 			if _, ok := r.(killedError); !ok {
-				p.k.failure = r
+				panic(r) // real failure: re-raise into the kernel's resume
 			}
 		}
-		p.k.yield <- struct{}{}
 	}()
 	p.fn(p)
 }
 
 // yieldWait hands control back to the kernel and blocks until resumed.
 func (p *Proc) yieldWait() {
-	p.k.yield <- struct{}{}
-	if sig := <-p.resume; sig == sigKill {
+	if !p.yield(struct{}{}) {
+		// The kernel called stop (Close): unwind the coroutine stack.
 		panic(errKilled)
 	}
 }
 
 // Advance consumes d of virtual time. Negative d is treated as zero.
+//
+// Fast path: when every event due before now+d is a kernel-context callback
+// (and the kernel's run horizon covers the target), the Proc runs those
+// callbacks inline, in timestamp order, and bumps the clock itself — zero
+// coroutine switches and zero heap traffic for its own wakeup. The advancing
+// Proc temporarily is the kernel's event loop. Only when another Proc is
+// scheduled to run first does Advance park in the timer heap and hand
+// control back. Event order, timestamps, and Kernel.Events() are identical
+// on both paths.
 func (p *Proc) Advance(d Time) {
 	if d < 0 {
 		d = 0
 	}
 	k := p.k
-	k.schedule(k.now+d, func() { k.wake(p) })
+	target := k.now + d
+	// Reserve our wake event's sequence number before running anything
+	// inline, so events that inline callbacks schedule at exactly `target`
+	// order after us — just as they would if we had parked first.
+	k.seq++
+	seq := k.seq
+	if target <= k.horizon {
+		for {
+			if k.heap.empty() {
+				k.now = target
+				k.nEvents++ // our elided wake event
+				return
+			}
+			min := &k.heap.ev[0]
+			if min.at > target || (min.at == target && min.seq > seq) {
+				k.now = target
+				k.nEvents++
+				return
+			}
+			if min.proc != nil {
+				break // another Proc runs first: real handoff
+			}
+			e := k.heap.pop()
+			k.now = e.at
+			k.nEvents++
+			if e.fn != nil {
+				e.fn()
+			} else {
+				e.fnArg(e.arg)
+			}
+		}
+	}
+	k.heap.push(event{at: target, seq: seq, proc: p})
 	p.yieldWait()
 }
 
@@ -119,10 +165,7 @@ func (p *Proc) Park() { p.yieldWait() }
 // Unpark schedules the Proc to resume at the current virtual time.
 // It must be called from another Proc's goroutine or a kernel-context fn,
 // never for a Proc that is currently running.
-func (p *Proc) Unpark() { p.UnparkAfter(0) }
+func (p *Proc) Unpark() { p.k.scheduleProc(p.k.now, p) }
 
 // UnparkAfter schedules the Proc to resume d from now.
-func (p *Proc) UnparkAfter(d Time) {
-	k := p.k
-	k.schedule(k.now+d, func() { k.wake(p) })
-}
+func (p *Proc) UnparkAfter(d Time) { p.k.scheduleProc(p.k.now+d, p) }

@@ -3,10 +3,23 @@ package sim
 // Queue is an unbounded virtual-time FIFO channel between Procs.
 // Pop blocks the calling Proc until an item is available. PushAfter models
 // delivery latency (e.g. a message crossing the interconnect).
+//
+// A queue can alternatively feed a kernel-context consumer registered with
+// PopFunc: items are then handed to the callback synchronously at delivery
+// time, with no Proc, no parking, and no goroutine switches — the fast path
+// for service loops whose handlers never block.
 type Queue[T any] struct {
 	k       *Kernel
 	items   fifo[T]
 	waiters fifo[*Proc]
+	popFn   func(T)
+
+	// Deferred-delivery buffer for PushAfter: values park in slots, and the
+	// timeline holds one pre-bound (deliver, slot) event per pending value,
+	// so a delayed push costs no per-event closure allocation.
+	deliver   func(uint32)
+	slots     []T
+	freeSlots []uint32
 
 	// Pushes and Pops count completed operations; MaxDepth tracks the
 	// high-water mark of queued items (a congestion probe).
@@ -22,9 +35,15 @@ func NewQueue[T any](k *Kernel) *Queue[T] {
 
 // Push enqueues v immediately and wakes one waiting Proc, if any.
 // It never blocks, so it may be called from kernel-context functions.
+// With a PopFunc registered, v is handed to the consumer instead.
 func (q *Queue[T]) Push(v T) {
-	q.items.push(v)
 	q.Pushes++
+	if q.popFn != nil {
+		q.Pops++
+		q.popFn(v)
+		return
+	}
+	q.items.push(v)
 	if d := q.items.len(); d > q.MaxDepth {
 		q.MaxDepth = d
 	}
@@ -35,7 +54,27 @@ func (q *Queue[T]) Push(v T) {
 
 // PushAfter enqueues v after d of virtual time has passed.
 func (q *Queue[T]) PushAfter(d Time, v T) {
-	q.k.After(d, func() { q.Push(v) })
+	if q.deliver == nil {
+		q.deliver = q.deliverSlot
+	}
+	var slot uint32
+	if n := len(q.freeSlots) - 1; n >= 0 {
+		slot = q.freeSlots[n]
+		q.freeSlots = q.freeSlots[:n]
+		q.slots[slot] = v
+	} else {
+		slot = uint32(len(q.slots))
+		q.slots = append(q.slots, v)
+	}
+	q.k.scheduleArg(q.k.now+d, q.deliver, slot)
+}
+
+func (q *Queue[T]) deliverSlot(slot uint32) {
+	v := q.slots[slot]
+	var zero T
+	q.slots[slot] = zero
+	q.freeSlots = append(q.freeSlots, slot)
+	q.Push(v)
 }
 
 // Pop removes and returns the oldest item, blocking p until one exists.
@@ -56,6 +95,27 @@ func (q *Queue[T]) TryPop() (T, bool) {
 		q.Pops++
 	}
 	return v, ok
+}
+
+// PopFunc registers fn as the queue's kernel-context consumer, draining any
+// already-queued items into it first. While a consumer is registered, every
+// Push (immediate or deferred) invokes fn(v) synchronously in kernel
+// context; fn must not block. A queue should have either parked-Proc
+// consumers (Pop) or a PopFunc, never both at once. Passing nil unregisters
+// the consumer.
+func (q *Queue[T]) PopFunc(fn func(T)) {
+	q.popFn = fn
+	if fn == nil {
+		return
+	}
+	for {
+		v, ok := q.items.pop()
+		if !ok {
+			return
+		}
+		q.Pops++
+		fn(v)
+	}
 }
 
 // Len returns the number of queued items.

@@ -1,8 +1,6 @@
 package storage
 
 import (
-	"sort"
-
 	"islands/internal/exec"
 	"islands/internal/mem"
 	"islands/internal/sim"
@@ -77,17 +75,42 @@ func (t *BTree) Search(ctx *exec.Ctx, key int64) (RID, bool) {
 		n = n.children[childIndex(n.keys, key)]
 	}
 	t.touch(ctx, n, false)
-	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	i := lowerBound(n.keys, key)
 	if i < len(n.keys) && n.keys[i] == key {
 		return n.rids[i], true
 	}
 	return RID{}, false
 }
 
+// lowerBound returns the first index whose key is >= key. Hand-rolled
+// (rather than sort.Search) because index probes are the hottest storage
+// operation and the closure-based search dominates their profile.
+func lowerBound(keys []int64, key int64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // childIndex returns which child subtree of an inner node covers key:
-// keys[i] is the smallest key of children[i+1].
+// keys[i] is the smallest key of children[i+1] (first index with key > k).
 func childIndex(keys []int64, key int64) int {
-	return sort.Search(len(keys), func(i int) bool { return keys[i] > key })
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Insert adds or replaces the mapping for key. It reports whether the key
@@ -111,7 +134,7 @@ func (t *BTree) Insert(ctx *exec.Ctx, key int64, rid RID) bool {
 func (t *BTree) insert(ctx *exec.Ctx, n *bnode, key int64, rid RID) (promoted int64, right *bnode, added bool) {
 	if n.leaf {
 		t.touch(ctx, n, true)
-		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+		i := lowerBound(n.keys, key)
 		if i < len(n.keys) && n.keys[i] == key {
 			n.rids[i] = rid
 			return 0, nil, false
@@ -170,7 +193,7 @@ func (t *BTree) Delete(ctx *exec.Ctx, key int64) bool {
 		n = n.children[childIndex(n.keys, key)]
 	}
 	t.touch(ctx, n, true)
-	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	i := lowerBound(n.keys, key)
 	if i >= len(n.keys) || n.keys[i] != key {
 		return false
 	}
@@ -209,30 +232,47 @@ func (t *BTree) Range(ctx *exec.Ctx, lo, hi int64, fn func(key int64, rid RID) b
 // given leaf fill fraction (0 < fill <= 1, e.g. 0.9). It replaces the tree's
 // contents and is the fast path for loading a partition at deployment time.
 func (t *BTree) BulkLoad(keys []int64, rid func(key int64) RID, fill float64) {
+	t.bulkLoad(int64(len(keys)), func(i int64) int64 { return keys[i] }, rid, fill)
+}
+
+// BulkLoadRange bulk-loads the dense key range [0, n) without materializing
+// a key slice — the common case of loading a freshly partitioned table,
+// where a 240K-row partition would otherwise allocate (and immediately
+// discard) megabytes of sequential keys per instance.
+func (t *BTree) BulkLoadRange(n int64, rid func(key int64) RID, fill float64) {
+	t.bulkLoad(n, func(i int64) int64 { return i }, rid, fill)
+}
+
+func (t *BTree) bulkLoad(n int64, keyAt func(int64) int64, rid func(key int64) RID, fill float64) {
 	if fill <= 0 || fill > 1 {
 		fill = 0.9
 	}
-	per := int(float64(t.order) * fill)
+	per := int64(float64(t.order) * fill)
 	if per < 1 {
 		per = 1
 	}
-	t.size = len(keys)
-	if len(keys) == 0 {
+	t.size = int(n)
+	if n == 0 {
 		t.root = &bnode{leaf: true}
 		t.height = 1
 		return
 	}
-	// Build leaves.
-	var leaves []*bnode
-	for i := 0; i < len(keys); i += per {
+	// Build leaves with exactly-sized slices.
+	leaves := make([]*bnode, 0, (n+per-1)/per)
+	for i := int64(0); i < n; i += per {
 		end := i + per
-		if end > len(keys) {
-			end = len(keys)
+		if end > n {
+			end = n
 		}
-		leaf := &bnode{leaf: true}
-		for _, k := range keys[i:end] {
-			leaf.keys = append(leaf.keys, k)
-			leaf.rids = append(leaf.rids, rid(k))
+		leaf := &bnode{
+			leaf: true,
+			keys: make([]int64, end-i),
+			rids: make([]RID, end-i),
+		}
+		for j := i; j < end; j++ {
+			k := keyAt(j)
+			leaf.keys[j-i] = k
+			leaf.rids[j-i] = rid(k)
 		}
 		if len(leaves) > 0 {
 			leaves[len(leaves)-1].next = leaf
@@ -242,17 +282,21 @@ func (t *BTree) BulkLoad(keys []int64, rid func(key int64) RID, fill float64) {
 	// Build inner levels.
 	level := leaves
 	t.height = 1
+	fan := int(per) + 1
 	for len(level) > 1 {
-		var parents []*bnode
-		for i := 0; i < len(level); i += per + 1 {
-			end := i + per + 1
+		parents := make([]*bnode, 0, (len(level)+fan-1)/fan)
+		for i := 0; i < len(level); i += fan {
+			end := i + fan
 			if end > len(level) {
 				end = len(level)
 			}
-			parent := &bnode{}
-			parent.children = append(parent.children, level[i:end]...)
-			for _, c := range level[i+1 : end] {
-				parent.keys = append(parent.keys, leftmostKey(c))
+			parent := &bnode{
+				children: make([]*bnode, end-i),
+				keys:     make([]int64, end-i-1),
+			}
+			copy(parent.children, level[i:end])
+			for j, c := range level[i+1 : end] {
+				parent.keys[j] = leftmostKey(c)
 			}
 			parents = append(parents, parent)
 		}

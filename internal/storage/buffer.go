@@ -159,6 +159,7 @@ func (bp *BufferPool) evict(ctx *exec.Ctx) {
 			bp.store.WriteBack(f.page)
 			f.page.Dirty = false
 		}
+		bp.store.Recycle(f.page)
 		if dirty {
 			prev := ctx.Bucket(exec.BIO)
 			bp.disk.Write(ctx)

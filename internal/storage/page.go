@@ -52,12 +52,20 @@ type Page struct {
 	Dirty      bool
 	PageLSN    uint64
 
-	data []byte
+	data     []byte
+	holes    int  // deleted slots available for reuse
+	ownsData bool // buffer came from the store's arena (see PageStore.Recycle)
 }
 
 // NewPage returns an empty formatted page.
 func NewPage(id PageID) *Page {
-	p := &Page{ID: id, data: make([]byte, PageSize)}
+	return newPageWithData(id, make([]byte, PageSize))
+}
+
+// newPageWithData formats a page over a caller-provided (zeroed) buffer,
+// letting the store hand out arena-allocated buffers.
+func newPageWithData(id PageID, data []byte) *Page {
+	p := &Page{ID: id, data: data}
 	p.setFreeOff(pageHeaderSize)
 	return p
 }
@@ -67,7 +75,13 @@ func LoadPage(id PageID, img []byte) *Page {
 	if len(img) != PageSize {
 		panic("storage: page image has wrong size")
 	}
-	return &Page{ID: id, data: img}
+	p := &Page{ID: id, data: img}
+	for i := 0; i < p.nSlots(); i++ {
+		if _, length := p.slot(i); length == 0 {
+			p.holes++
+		}
+	}
+	return p
 }
 
 // Image returns a copy of the page bytes for the backing store.
@@ -116,18 +130,22 @@ func (p *Page) Insert(rec []byte) (slot uint16, ok bool) {
 		return 0, false
 	}
 	// Reuse a deleted slot when the record fits in its hole; the hole's
-	// capacity is stored in its first two bytes (see Delete).
-	for i := 0; i < p.nSlots(); i++ {
-		off, length := p.slot(i)
-		if length != 0 {
-			continue
-		}
-		capacity := int(binary.LittleEndian.Uint16(p.data[off : off+2]))
-		if capacity >= len(rec) {
-			p.setSlot(i, off, len(rec))
-			copy(p.data[off:off+len(rec)], rec)
-			p.Dirty = true
-			return uint16(i), true
+	// capacity is stored in its first two bytes (see Delete). The hole
+	// counter lets the common hole-free page skip the directory scan.
+	if p.holes > 0 {
+		for i := 0; i < p.nSlots(); i++ {
+			off, length := p.slot(i)
+			if length != 0 {
+				continue
+			}
+			capacity := int(binary.LittleEndian.Uint16(p.data[off : off+2]))
+			if capacity >= len(rec) {
+				p.setSlot(i, off, len(rec))
+				copy(p.data[off:off+len(rec)], rec)
+				p.holes--
+				p.Dirty = true
+				return uint16(i), true
+			}
 		}
 	}
 	off := p.freeOff()
@@ -185,6 +203,7 @@ func (p *Page) Delete(slot uint16) bool {
 	// length 0 so Get refuses the slot but Insert can reuse the space.
 	binary.LittleEndian.PutUint16(p.data[off:off+2], uint16(length))
 	p.setSlot(int(slot), off, 0)
+	p.holes++
 	p.Dirty = true
 	return true
 }

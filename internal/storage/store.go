@@ -9,8 +9,47 @@ type PageStore struct {
 	tables map[TableID]*Table
 	images map[PageID][]byte
 
+	// arena carves page buffers out of chunked allocations: synthesizing a
+	// partition touches thousands of pages, and allocating each 8 KB buffer
+	// separately made the allocator (not the simulation) the hot path.
+	// freeData recycles the buffers of evicted synthesized pages, so a hot
+	// page never pins a whole chunk of otherwise-dead neighbors.
+	arena    []byte
+	freeData [][]byte
+
 	Synthesized uint64
 	Restored    uint64
+}
+
+// arenaChunkPages is how many page buffers one arena chunk holds.
+const arenaChunkPages = 64
+
+func (s *PageStore) newPageData() []byte {
+	if n := len(s.freeData) - 1; n >= 0 {
+		d := s.freeData[n]
+		s.freeData[n] = nil
+		s.freeData = s.freeData[:n]
+		return d
+	}
+	if len(s.arena) < PageSize {
+		s.arena = make([]byte, arenaChunkPages*PageSize)
+	}
+	d := s.arena[:PageSize:PageSize]
+	s.arena = s.arena[PageSize:]
+	return d
+}
+
+// Recycle returns an evicted page's buffer to the store. Only pages whose
+// buffers the store itself handed out are reclaimed; restored pages alias
+// the retained image and must not be reused.
+func (s *PageStore) Recycle(p *Page) {
+	if !p.ownsData {
+		return
+	}
+	p.ownsData = false
+	clear(p.data) // newPageData hands out zeroed buffers, like make
+	s.freeData = append(s.freeData, p.data)
+	p.data = nil
 }
 
 // NewPageStore returns an empty store.
@@ -58,7 +97,10 @@ func (s *PageStore) Fetch(id PageID) *Page {
 		panic("storage: fetch of page beyond table end")
 	}
 	s.Synthesized++
-	return t.SynthesizePage(id.No)
+	p := newPageWithData(id, s.newPageData())
+	p.ownsData = true
+	t.fillPage(p, id.No)
+	return p
 }
 
 // WriteBack persists the image of a dirty page being evicted.

@@ -111,9 +111,14 @@ type Manager struct {
 	tail    LSN // next byte to be written
 	durable LSN
 
-	flushCond   sim.Cond
 	waiters     []flushWaiter
-	flusherBusy bool
+	flusherIdle bool
+	flushTarget LSN
+
+	// Flush-daemon continuations, bound once so scheduling a batch never
+	// allocates.
+	beginFn    func()
+	completeFn func()
 
 	records []Record // retained iff opts.Retain
 
@@ -130,11 +135,27 @@ type flushWaiter struct {
 
 // NewManager starts a log manager and its flush daemon on kernel k.
 // The daemon models a dedicated log-writer thread; its CPU use is negligible
-// and it does not compete for worker cores.
+// and it does not compete for worker cores. It runs as a kernel-context
+// callback chain (beginBatch -> completeBatch), not a Proc: group-commit
+// batching is pure timer work, so it needs no coroutine stack and its
+// wakeups cost no goroutine switches. The startup event mirrors the daemon
+// thread launch of a Proc-based flusher, keeping kernel event counts
+// comparable across implementations.
 func NewManager(k *sim.Kernel, opts Options) *Manager {
-	m := &Manager{k: k, opts: opts}
-	k.Spawn("log-flusher", m.flusherLoop)
+	m := &Manager{k: k, opts: opts, flusherIdle: true}
+	m.beginFn = m.beginBatch
+	m.completeFn = m.completeBatch
+	k.After(0, m.start)
 	return m
+}
+
+// start is the daemon's startup event: it catches flush requests issued
+// between manager construction and the first kernel step.
+func (m *Manager) start() {
+	if m.flusherIdle && len(m.waiters) > 0 {
+		m.flusherIdle = false
+		m.beginBatch()
+	}
 }
 
 // Durable returns the durable LSN.
@@ -152,6 +173,14 @@ func (m *Manager) Records() []Record { return m.records }
 func (m *Manager) Append(ctx *exec.Ctx, rec Record) LSN {
 	prev := ctx.Bucket(exec.BLog)
 	defer ctx.Bucket(prev)
+
+	if m.opts.Retain {
+		// Deep-copy the images before any virtual time can pass: callers
+		// pass arena- or page-backed slices that concurrent workers may
+		// overwrite while this append blocks on the insertion mutex.
+		rec.Before = append([]byte(nil), rec.Before...)
+		rec.After = append([]byte(nil), rec.After...)
+	}
 
 	if !m.opts.Consolidate {
 		ctx.LockSim(&m.mu)
@@ -185,7 +214,10 @@ func (m *Manager) Flush(ctx *exec.Ctx, lsn LSN) {
 	defer ctx.Bucket(prev)
 	m.ForcedBytes += uint64(lsn - m.durable)
 	m.waiters = append(m.waiters, flushWaiter{lsn: lsn, p: ctx.P})
-	m.flushCond.Signal()
+	if m.flusherIdle {
+		m.flusherIdle = false
+		m.k.After(0, m.beginFn)
+	}
 	ctx.Block(func() {
 		for m.durable < lsn {
 			ctx.P.Park()
@@ -193,24 +225,26 @@ func (m *Manager) Flush(ctx *exec.Ctx, lsn LSN) {
 	})
 }
 
-// flusherLoop is the group-commit daemon.
-func (m *Manager) flusherLoop(p *sim.Proc) {
-	for {
-		for len(m.waiters) == 0 {
-			m.flushCond.Wait(p)
-		}
-		if m.opts.GroupCommit {
-			// One device write covers everything appended so far.
-			target := m.tail
-			p.Advance(m.opts.FlushLatency)
-			m.finishFlush(target)
-		} else {
-			// Serve waiters one device write each, oldest first.
-			target := m.waiters[0].lsn
-			p.Advance(m.opts.FlushLatency)
-			m.finishFlush(target)
-		}
+// beginBatch starts one device write. With group commit the batch covers
+// everything appended so far; without it, only the oldest waiter's range.
+func (m *Manager) beginBatch() {
+	if len(m.waiters) == 0 {
+		m.flusherIdle = true
+		return
 	}
+	if m.opts.GroupCommit {
+		m.flushTarget = m.tail
+	} else {
+		m.flushTarget = m.waiters[0].lsn
+	}
+	m.k.After(m.opts.FlushLatency, m.completeFn)
+}
+
+// completeBatch ends the in-flight device write and immediately starts the
+// next batch if waiters arrived during the write.
+func (m *Manager) completeBatch() {
+	m.finishFlush(m.flushTarget)
+	m.beginBatch()
 }
 
 func (m *Manager) finishFlush(target LSN) {
