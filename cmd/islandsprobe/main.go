@@ -5,16 +5,19 @@
 // Two builds of the repo simulate identically if and only if their probe
 // outputs are byte-identical; CI and performance work diff the output before
 // and after a change to prove the optimization did not alter simulated
-// behavior.
+// behavior. Because experiment cells are independent simulations assembled
+// by table coordinate, the fingerprint is also independent of -parallel: CI
+// diffs a sequential against a parallel run to prove it.
 //
 // Usage:
 //
-//	islandsprobe [-seed N] [-experiments]
+//	islandsprobe [-seed N] [-experiments] [-full] [-parallel N] [-progress]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"islands"
 )
@@ -22,11 +25,14 @@ import (
 func main() {
 	seed := flag.Int64("seed", 42, "workload and placement seed")
 	experiments := flag.Bool("experiments", false, "also fingerprint every quick-mode experiment (slow)")
+	full := flag.Bool("full", false, "fingerprint the full-mode sweeps instead of quick mode (very slow; implies -experiments)")
+	parallel := flag.Int("parallel", 0, "concurrently-run experiment cells (0 = GOMAXPROCS, 1 = sequential)")
+	progress := flag.Bool("progress", false, "report per-cell experiment progress on stderr")
 	flag.Parse()
 
 	probeDeployments(*seed)
-	if *experiments {
-		probeExperiments(*seed)
+	if *experiments || *full {
+		probeExperiments(*seed, *full, *parallel, *progress)
 	}
 }
 
@@ -62,10 +68,16 @@ func probeDeployments(seed int64) {
 	}
 }
 
-// probeExperiments prints every cell of every quick-mode experiment table at
-// full float precision.
-func probeExperiments(seed int64) {
-	opt := islands.ExperimentOptions{Quick: true, Seed: seed}
+// probeExperiments prints every cell of every experiment table at full float
+// precision. Progress (when requested) goes to stderr so the fingerprint on
+// stdout stays byte-comparable.
+func probeExperiments(seed int64, full bool, parallel int, progress bool) {
+	opt := islands.ExperimentOptions{Quick: !full, Seed: seed, Parallel: parallel}
+	if progress {
+		opt.Progress = func(exp, cell string, done, total int) {
+			fmt.Fprintf(os.Stderr, "%s: %d/%d cells (%s)\n", exp, done, total, cell)
+		}
+	}
 	for _, e := range islands.Experiments() {
 		res, ok := islands.RunExperiment(e.ID, opt)
 		if !ok {

@@ -39,6 +39,47 @@ func (in *Instance) runTxn(ctx *exec.Ctx, req Request, reply *ipc.Endpoint[Msg])
 	}
 }
 
+// coordScratch holds one coordinator attempt's staging state: the op split
+// (local part, dense per-participant parts) and the writer votes. Attempts
+// block mid-flight (work replies, lock waits), and every core of an
+// instance runs a worker, so attempts of different transactions can be live
+// on one instance at once: each attempt takes a scratch from the instance's
+// free list and returns it when done. Steady state allocates nothing.
+type coordScratch struct {
+	local       []localOp
+	remote      [][]localOp // dense by participant order
+	remoteIDs   []InstanceID
+	writers     []InstanceID
+	remoteIndex map[InstanceID]int
+	next        *coordScratch // free-list link
+}
+
+// getCoordScratch pops a scratch off the instance free list (procs of one
+// kernel run strictly one at a time, so no locking is needed).
+func (in *Instance) getCoordScratch() *coordScratch {
+	s := in.coordFree
+	if s == nil {
+		return &coordScratch{remoteIndex: make(map[InstanceID]int)}
+	}
+	in.coordFree = s.next
+	s.next = nil
+	return s
+}
+
+// putCoordScratch resets and recycles a scratch. By the time an attempt
+// returns, every participant has replied — and a participant replies only
+// after it consumed the ops slice its work message referenced — so the
+// remote buffers are free to reuse.
+func (in *Instance) putCoordScratch(s *coordScratch) {
+	s.local = s.local[:0]
+	s.remote = s.remote[:0] // inner slice headers survive past len for reuse
+	s.remoteIDs = s.remoteIDs[:0]
+	s.writers = s.writers[:0]
+	clear(s.remoteIndex)
+	s.next = in.coordFree
+	in.coordFree = s
+}
+
 // attemptTxn runs one attempt of the request as coordinator.
 func (in *Instance) attemptTxn(ctx *exec.Ctx, ts uint64, req Request, reply *ipc.Endpoint[Msg]) (multisite bool, err error) {
 	if in.serial != nil {
@@ -50,40 +91,44 @@ func (in *Instance) attemptTxn(ctx *exec.Ctx, ts uint64, req Request, reply *ipc
 	txn := in.newTxn(ctx, ts, false)
 
 	// Split operations into the local part and per-participant parts.
-	var local []localOp
-	remote := make([][]localOp, 0) // dense by participant order
-	remoteIDs := make([]InstanceID, 0)
-	remoteIndex := make(map[InstanceID]int)
+	s := in.getCoordScratch()
+	defer in.putCoordScratch(s)
 	for _, op := range req.Ops {
 		iid, lk := in.part.Locate(op.Table, op.Key)
 		lop := localOp{Table: int32(op.Table), Key: lk, Kind: op.Kind}
 		if iid == in.ID {
-			local = append(local, lop)
+			s.local = append(s.local, lop)
 			continue
 		}
-		idx, ok := remoteIndex[iid]
+		idx, ok := s.remoteIndex[iid]
 		if !ok {
-			idx = len(remote)
-			remoteIndex[iid] = idx
-			remoteIDs = append(remoteIDs, iid)
-			remote = append(remote, nil)
+			idx = len(s.remoteIDs)
+			s.remoteIndex[iid] = idx
+			s.remoteIDs = append(s.remoteIDs, iid)
+			if idx < cap(s.remote) {
+				s.remote = s.remote[:idx+1]
+				s.remote[idx] = s.remote[idx][:0]
+			} else {
+				s.remote = append(s.remote, nil)
+			}
 		}
-		remote[idx] = append(remote[idx], lop)
+		s.remote[idx] = append(s.remote[idx], lop)
 	}
+	remoteIDs := s.remoteIDs
 	multisite = len(remoteIDs) > 0
 
 	// Dispatch work to participants before doing local work, so remote
 	// execution overlaps local execution.
 	for i, iid := range remoteIDs {
 		in.net.Send(ctx, in.peers[iid].workQ, Msg{
-			Kind: msgWork, From: in.ID, Txn: ts, Ops: remote[i], ReplyTo: reply,
+			Kind: msgWork, From: in.ID, Txn: ts, Ops: s.remote[i], ReplyTo: reply,
 		})
 	}
 
 	// Local execution.
 	prev := ctx.Bucket(exec.BExec)
 	localErr := error(nil)
-	for _, op := range local {
+	for _, op := range s.local {
 		if localErr = txn.apply(ctx, op); localErr != nil {
 			break
 		}
@@ -92,16 +137,16 @@ func (in *Instance) attemptTxn(ctx *exec.Ctx, ts uint64, req Request, reply *ipc
 
 	// Collect work replies.
 	died := localErr != nil
-	writers := make([]InstanceID, 0, len(remoteIDs))
 	for range remoteIDs {
 		m := reply.Recv(ctx)
 		switch {
 		case !m.OK:
 			died = true // participant died; it cleaned up locally
 		case !m.ReadOnly:
-			writers = append(writers, m.From)
+			s.writers = append(s.writers, m.From)
 		}
 	}
+	writers := s.writers
 
 	if died {
 		txn.abortLocal(ctx)

@@ -126,6 +126,11 @@ type Instance struct {
 	// virtual time.
 	scratch []byte
 
+	// coordFree is the free list of coordinator attempt scratches (see
+	// coordScratch in coordinator.go). One scratch per concurrently-live
+	// coordinator attempt; recycled, so the steady state allocates nothing.
+	coordFree *coordScratch
+
 	Stats Stats
 }
 

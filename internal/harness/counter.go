@@ -67,11 +67,7 @@ func counterBench(m *topology.Machine, n int, counters int,
 
 // fig2 compares spread / grouped / OS thread placement for the per-socket
 // counter setup on the octo-socket machine (80 threads, 8 counters).
-func runFig2(opt Options) *Result {
-	m := topology.OctoSocket()
-	n := m.NumCores()
-	counters := m.SocketCount
-	perGroup := n / counters
+func planFig2(opt Options) *Plan {
 	iters := 3000
 	seeds := 5
 	if opt.Quick {
@@ -79,95 +75,138 @@ func runFig2(opt Options) *Result {
 		seeds = 3
 	}
 
-	counterOf := func(t int) int { return t / perGroup }
-
-	// Spread: thread t of group g runs on socket (t mod sockets).
-	spread := func(t int) topology.CoreID {
-		s := t % m.SocketCount
-		idx := (t / m.SocketCount) % m.CoresPerSocket
-		return topology.CoreID(s*m.CoresPerSocket + idx)
-	}
-	// Grouped: group g's threads all run on socket g (where its counter is).
-	grouped := func(t int) topology.CoreID {
-		g := counterOf(t)
-		return topology.CoreID(g*m.CoresPerSocket + t%perGroup)
-	}
-
 	tab := NewTable("counter throughput", "million increments/s",
 		"placement", []string{"spread", "grouped", "os"}, "", []string{"mean", "stddev"})
-
-	tab.Set(0, 0, counterBench(m, n, counters, spread, counterOf, iters)/1e6)
-	tab.Set(1, 0, counterBench(m, n, counters, grouped, counterOf, iters)/1e6)
-
-	// OS: the scheduler keeps some threads near the memory they touch (they
-	// started there and were not migrated) and scatters the rest; the mix
-	// lands between spread and grouped with run-to-run variance, as the
-	// paper's error bars show.
-	var rates []float64
-	for s := 0; s < seeds; s++ {
-		rng := rand.New(rand.NewSource(opt.Seed + int64(s)*7919))
-		cores := make([]topology.CoreID, n)
-		for t := range cores {
-			if rng.Float64() < 0.5 {
-				g := counterOf(t)
-				cores[t] = topology.CoreID(g*m.CoresPerSocket + rng.Intn(m.CoresPerSocket))
-			} else {
-				cores[t] = topology.CoreID(rng.Intn(n))
-			}
-		}
-		rates = append(rates, counterBench(m, n, counters,
-			func(t int) topology.CoreID { return cores[t] }, counterOf, iters)/1e6)
-	}
-	mean, std := meanStd(rates)
-	tab.Set(2, 0, mean)
-	tab.Set(2, 1, std)
-
-	return &Result{
+	p := &Plan{Result: &Result{
 		ID: "fig2", Title: "Counter increments by thread placement", Ref: "Figure 2",
 		Notes: []string{
 			"grouped > os > spread, as in the paper; os varies across seeds",
 		},
 		Tables: []*Table{tab},
+	}}
+
+	// fig2Cell builds one placement cell: place derives the thread->core
+	// assignment from the cell's own freshly-built machine (and the cell's
+	// seed-adjusted options), so cells close over nothing shared. One
+	// counter per socket; thread t belongs to counter t/perGroup.
+	fig2Cell := func(name string, place func(m *topology.Machine, perGroup int, o Options) func(t int) topology.CoreID) Cell {
+		return scalarCell(name, func(o Options) float64 {
+			m := topology.OctoSocket()
+			n, perGroup := m.NumCores(), m.NumCores()/m.SocketCount
+			counterOf := func(t int) int { return t / perGroup }
+			return counterBench(m, n, m.SocketCount, place(m, perGroup, o), counterOf, iters) / 1e6
+		})
 	}
+
+	// Spread: thread t of group g runs on socket (t mod sockets).
+	spread := fig2Cell("fig2/spread", func(m *topology.Machine, _ int, _ Options) func(int) topology.CoreID {
+		return func(t int) topology.CoreID {
+			s := t % m.SocketCount
+			idx := (t / m.SocketCount) % m.CoresPerSocket
+			return topology.CoreID(s*m.CoresPerSocket + idx)
+		}
+	})
+	spread.Emits = []Emit{valueEmit(0, 0, 0)}
+	// Grouped: group g's threads all run on socket g (where its counter is).
+	grouped := fig2Cell("fig2/grouped", func(m *topology.Machine, perGroup int, _ Options) func(int) topology.CoreID {
+		return func(t int) topology.CoreID {
+			g := t / perGroup
+			return topology.CoreID(g*m.CoresPerSocket + t%perGroup)
+		}
+	})
+	grouped.Emits = []Emit{valueEmit(0, 1, 0)}
+	p.Cells = append(p.Cells, spread, grouped)
+
+	// OS: the scheduler keeps some threads near the memory they touch (they
+	// started there and were not migrated) and scatters the rest; the mix
+	// lands between spread and grouped with run-to-run variance, as the
+	// paper's error bars show.
+	osStart := len(p.Cells)
+	for s := 0; s < seeds; s++ {
+		p.Cells = append(p.Cells, fig2Cell(fmt.Sprintf("fig2/os/seed%d", s),
+			func(m *topology.Machine, perGroup int, o Options) func(int) topology.CoreID {
+				n := m.NumCores()
+				rng := rand.New(rand.NewSource(o.Seed + int64(s)*7919))
+				cores := make([]topology.CoreID, n)
+				for t := range cores {
+					if rng.Float64() < 0.5 {
+						g := t / perGroup
+						cores[t] = topology.CoreID(g*m.CoresPerSocket + rng.Intn(m.CoresPerSocket))
+					} else {
+						cores[t] = topology.CoreID(rng.Intn(n))
+					}
+				}
+				return func(t int) topology.CoreID { return cores[t] }
+			}))
+	}
+	p.Finalize = func(res *Result, metrics []Metrics) {
+		var rates []float64
+		for _, x := range metrics[osStart : osStart+seeds] {
+			rates = append(rates, x.Value)
+		}
+		mean, std := meanStd(rates)
+		res.Tables[0].Set(2, 0, mean)
+		res.Tables[0].Set(2, 1, std)
+	}
+	return p
 }
 
 // table1 scales the counter setup: one global counter, one per socket, one
 // per core (Table 1 of the paper: 18.5x and 516.8x speedups).
-func runTable1(opt Options) *Result {
-	m := topology.OctoSocket()
-	n := m.NumCores()
+func planTable1(opt Options) *Plan {
 	iters := 3000
 	if opt.Quick {
 		iters = 500
 	}
 
-	grouped := func(t int) topology.CoreID { return topology.CoreID(t) } // thread t on core t
-
-	single := counterBench(m, n, 1, grouped, func(int) int { return 0 }, iters)
-	perSocket := counterBench(m, n, m.SocketCount, grouped,
-		func(t int) int { return int(m.SocketOf(topology.CoreID(t))) }, iters)
-	perCore := counterBench(m, n, n, grouped, func(t int) int { return t }, iters)
-
 	tab := NewTable("counter scaling", "", "setup",
 		[]string{"single", "per-socket", "per-core"}, "",
 		[]string{"counters", "Mops/s", "speedup"})
-	tab.Set(0, 0, 1)
-	tab.Set(0, 1, single/1e6)
-	tab.Set(0, 2, 1)
-	tab.Set(1, 0, float64(m.SocketCount))
-	tab.Set(1, 1, perSocket/1e6)
-	tab.Set(1, 2, perSocket/single)
-	tab.Set(2, 0, float64(n))
-	tab.Set(2, 1, perCore/1e6)
-	tab.Set(2, 2, perCore/single)
-
-	return &Result{
+	p := &Plan{Result: &Result{
 		ID: "table1", Title: "Counter throughput when increasing counters", Ref: "Table 1",
 		Notes: []string{
 			"paper reports 18.5x (per-socket) and 516.8x (per-core) over a single counter",
 		},
 		Tables: []*Table{tab},
+	}}
+	// The counter-count column is structural, not measured.
+	geom := topology.OctoSocket()
+	tab.Set(0, 0, 1)
+	tab.Set(1, 0, float64(geom.SocketCount))
+	tab.Set(2, 0, float64(geom.NumCores()))
+
+	// Thread t runs on core t in every setup; the setups differ only in how
+	// many counters the threads share.
+	bench := func(counters func(m *topology.Machine) int, counterOf func(m *topology.Machine, t int) int) func(Options) float64 {
+		return func(Options) float64 {
+			m := topology.OctoSocket()
+			grouped := func(t int) topology.CoreID { return topology.CoreID(t) }
+			return counterBench(m, m.NumCores(), counters(m),
+				grouped, func(t int) int { return counterOf(m, t) }, iters)
+		}
 	}
+	p.Cells = append(p.Cells,
+		scalarCell("table1/single", bench(
+			func(*topology.Machine) int { return 1 },
+			func(*topology.Machine, int) int { return 0 })),
+		scalarCell("table1/per-socket", bench(
+			func(m *topology.Machine) int { return m.SocketCount },
+			func(m *topology.Machine, t int) int { return int(m.SocketOf(topology.CoreID(t))) })),
+		scalarCell("table1/per-core", bench(
+			func(m *topology.Machine) int { return m.NumCores() },
+			func(m *topology.Machine, t int) int { return t })),
+	)
+	p.Finalize = func(res *Result, metrics []Metrics) {
+		single, perSocket, perCore := metrics[0].Value, metrics[1].Value, metrics[2].Value
+		t := res.Tables[0]
+		t.Set(0, 1, single/1e6)
+		t.Set(0, 2, 1)
+		t.Set(1, 1, perSocket/1e6)
+		t.Set(1, 2, perSocket/single)
+		t.Set(2, 1, perCore/1e6)
+		t.Set(2, 2, perCore/single)
+	}
+	return p
 }
 
 func meanStd(xs []float64) (mean, std float64) {
@@ -186,6 +225,6 @@ func meanStd(xs []float64) (mean, std float64) {
 }
 
 func init() {
-	register(Experiment{ID: "fig2", Title: "Counter increments by thread placement", Ref: "Figure 2", Run: runFig2})
-	register(Experiment{ID: "table1", Title: "Counter scaling: single/per-socket/per-core", Ref: "Table 1", Run: runTable1})
+	register(Experiment{ID: "fig2", Title: "Counter increments by thread placement", Ref: "Figure 2", Plan: planFig2})
+	register(Experiment{ID: "table1", Title: "Counter scaling: single/per-socket/per-core", Ref: "Table 1", Plan: planTable1})
 }

@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Execute runs the plan's cells and assembles the result.
+//
+// Cell execution order is unspecified: opt.Parallel workers (default
+// runtime.GOMAXPROCS) pull cells from a shared index and run each cell's
+// simulation on one worker goroutine. Assembly is nonetheless deterministic —
+// metrics are stored by cell index, emits are applied in declaration order
+// after every cell finished, and Finalize runs last — so a parallel run is
+// cell-for-cell identical to a sequential one (TestParallelMatchesSequential
+// asserts this for every registered experiment).
+func (p *Plan) Execute(opt Options) *Result {
+	n := len(p.Cells)
+	metrics := make([]Metrics, n)
+
+	workers := opt.Parallel
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// report serializes Progress callbacks; done counts completions, which
+	// under parallelism is not the cell index.
+	var mu sync.Mutex
+	done := 0
+	report := func(i int) {
+		if opt.Progress == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		opt.Progress(p.Result.ID, p.Cells[i].Name, done, n)
+		mu.Unlock()
+	}
+
+	if workers <= 1 {
+		for i := range p.Cells {
+			metrics[i] = p.Cells[i].Run(opt)
+			report(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					metrics[i] = p.Cells[i].Run(opt)
+					report(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for i := range p.Cells {
+		for _, e := range p.Cells[i].Emits {
+			p.Result.Tables[e.Table].Set(e.Row, e.Col, e.Metric(metrics[i]))
+		}
+	}
+	if p.Finalize != nil {
+		p.Finalize(p.Result, metrics)
+	}
+	return p.Result
+}

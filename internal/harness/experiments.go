@@ -71,58 +71,70 @@ func runPayment(m *topology.Machine, instances int, warehouses int, remotePct fl
 }
 
 // fig3: TPC-C Payment with 4 worker threads on the quad-socket machine,
-// varying thread placement: Spread / Group / Mix / OS.
-func runFig3(opt Options) *Result {
-	m := topology.QuadSocket()
+// varying thread placement: Spread / Group / Mix / OS. All cells force the
+// full measurement window: with only 4 workers the experiment is cheap, and
+// the 20-30% placement gap must be measured above the noise. Enough
+// warehouses that warehouse-row contention (which is placement-independent)
+// does not mask the topology effect.
+func planFig3(opt Options) *Plan {
 	seeds := 5
 	if opt.Quick {
 		seeds = 3
 	}
-	// With only 4 workers this experiment is cheap; always use the full
-	// window so the 20-30% placement gap is measured above the noise.
-	opt.Quick = false
-	// Enough warehouses that warehouse-row contention (which is placement-
-	// independent) does not mask the topology effect.
 	const fig3Warehouses = 16
-	placements := []struct {
-		name  string
-		cores []topology.CoreID
-	}{
-		{"spread", topology.SpreadPlacement(m, 4).Cores},
-		{"group", topology.GroupPlacement(m, 4, 0).Cores},
-		{"mix", topology.MixPlacement(m, 4, 2).Cores},
-	}
+
 	tab := NewTable("Payment throughput by placement", "KTps",
 		"placement", []string{"spread", "group", "mix", "os"}, "", []string{"mean", "stddev"})
-
-	for i, pl := range placements {
-		res := runPayment(m, 1, fig3Warehouses, 0.15, false, opt, [][]topology.CoreID{pl.cores})
-		tab.Set(i, 0, res.ThroughputTPS/1e3)
-	}
-	var rates []float64
-	for s := 0; s < seeds; s++ {
-		o := opt
-		o.Seed = opt.Seed + int64(s)*104729
-		pl := topology.OSPlacement(m, 4, randFor(o.Seed))
-		res := runPayment(m, 1, fig3Warehouses, 0.15, false, o, [][]topology.CoreID{pl.Cores})
-		rates = append(rates, res.ThroughputTPS/1e3)
-	}
-	mean, std := meanStd(rates)
-	tab.Set(3, 0, mean)
-	tab.Set(3, 1, std)
-
-	return &Result{
+	p := &Plan{Result: &Result{
 		ID: "fig3", Title: "TPC-C Payment by thread placement (4 workers)", Ref: "Figure 3",
 		Notes: []string{
 			"paper: grouping all threads on one socket is 20-30% faster than spread/mix/OS",
 		},
 		Tables: []*Table{tab},
+	}}
+
+	fixed := []struct {
+		name  string
+		cores func(m *topology.Machine) []topology.CoreID
+	}{
+		{"spread", func(m *topology.Machine) []topology.CoreID { return topology.SpreadPlacement(m, 4).Cores }},
+		{"group", func(m *topology.Machine) []topology.CoreID { return topology.GroupPlacement(m, 4, 0).Cores }},
+		{"mix", func(m *topology.Machine) []topology.CoreID { return topology.MixPlacement(m, 4, 2).Cores }},
 	}
+	for i, pl := range fixed {
+		p.Cells = append(p.Cells, paymentCell("fig3/"+pl.name, PaymentSpec{
+			Machine: topology.QuadSocket, Instances: 1, Warehouses: fig3Warehouses,
+			RemotePct: 0.15, ForceFull: true,
+			Placement: func(m *topology.Machine, _ Options) [][]topology.CoreID {
+				return [][]topology.CoreID{pl.cores(m)}
+			},
+		}, tpsEmit(0, i, 0)))
+	}
+
+	osStart := len(p.Cells)
+	for s := 0; s < seeds; s++ {
+		p.Cells = append(p.Cells, paymentCell(fmt.Sprintf("fig3/os/seed%d", s), PaymentSpec{
+			Machine: topology.QuadSocket, Instances: 1, Warehouses: fig3Warehouses,
+			RemotePct: 0.15, ForceFull: true, SeedDelta: int64(s) * 104729,
+			Placement: func(m *topology.Machine, o Options) [][]topology.CoreID {
+				return [][]topology.CoreID{topology.OSPlacement(m, 4, randFor(o.Seed)).Cores}
+			},
+		}))
+	}
+	p.Finalize = func(res *Result, metrics []Metrics) {
+		var rates []float64
+		for _, x := range metrics[osStart : osStart+seeds] {
+			rates = append(rates, x.M.ThroughputTPS/1e3)
+		}
+		mean, std := meanStd(rates)
+		res.Tables[0].Set(3, 0, mean)
+		res.Tables[0].Set(3, 1, std)
+	}
+	return p
 }
 
 // fig6: message throughput of IPC mechanisms, same vs different socket.
-func runFig6(opt Options) *Result {
-	m := topology.QuadSocket()
+func planFig6(opt Options) *Plan {
 	rounds := 2000
 	if opt.Quick {
 		rounds = 300
@@ -134,15 +146,25 @@ func runFig6(opt Options) *Result {
 	}
 	tab := NewTable("message throughput", "Kmsgs/s",
 		"mechanism", rows, "endpoint sockets", []string{"same", "different"})
-	for i, mech := range mechs {
-		tab.Set(i, 0, pingPongRate(m, mech, 0, 1, rounds)/1e3)
-		tab.Set(i, 1, pingPongRate(m, mech, 0, 23, rounds)/1e3)
-	}
-	return &Result{
+	p := &Plan{Result: &Result{
 		ID: "fig6", Title: "IPC mechanism throughput", Ref: "Figure 6",
 		Notes:  []string{"unix domain sockets are the fastest; cross-socket is always slower"},
 		Tables: []*Table{tab},
+	}}
+	peers := []struct {
+		name string
+		core topology.CoreID
+	}{{"same", 1}, {"different", 23}}
+	for i, mech := range mechs {
+		for j, peer := range peers {
+			p.Cells = append(p.Cells, scalarCell(
+				fmt.Sprintf("fig6/%s/%s", mech, peer.name),
+				func(Options) float64 {
+					return pingPongRate(topology.QuadSocket(), mech, 0, peer.core, rounds) / 1e3
+				}, valueEmit(0, i, j)))
+		}
 	}
+	return p
 }
 
 func pingPongRate(m *topology.Machine, mech ipc.Mechanism, a, b topology.CoreID, rounds int) float64 {
@@ -172,27 +194,30 @@ func pingPongRate(m *topology.Machine, mech ipc.Mechanism, a, b topology.CoreID,
 
 // fig7: TPC-C Payment, perfectly partitionable (all local): fine-grained
 // shared-nothing vs shared-everything.
-func runFig7(opt Options) *Result {
-	m := topology.QuadSocket()
-	fg := runPayment(m, 24, 24, 0, true, opt, nil)
-	se := runPayment(m, 1, 24, 0, true, opt, nil)
+func planFig7(Options) *Plan {
 	tab := NewTable("Payment throughput, local only", "KTps",
 		"config", []string{"24ISL (fine-grained SN)", "1ISL (shared-everything)"}, "", []string{"KTps", "vs SE"})
-	tab.Set(0, 0, fg.ThroughputTPS/1e3)
-	tab.Set(0, 1, fg.ThroughputTPS/se.ThroughputTPS)
-	tab.Set(1, 0, se.ThroughputTPS/1e3)
-	tab.Set(1, 1, 1)
-	return &Result{
+	p := &Plan{Result: &Result{
 		ID: "fig7", Title: "TPC-C Payment, perfectly partitionable", Ref: "Figure 7",
 		Notes:  []string{"paper: fine-grained shared-nothing is ~4.5x shared-everything"},
 		Tables: []*Table{tab},
+	}}
+	for i, instances := range []int{24, 1} {
+		p.Cells = append(p.Cells, paymentCell(fmt.Sprintf("fig7/%dISL", instances), PaymentSpec{
+			Machine: topology.QuadSocket, Instances: instances, Warehouses: 24, LocalOnly: true,
+		}, tpsEmit(0, i, 0)))
 	}
+	p.Finalize = func(res *Result, metrics []Metrics) {
+		fg, se := metrics[0].M.ThroughputTPS, metrics[1].M.ThroughputTPS
+		res.Tables[0].Set(0, 1, fg/se)
+		res.Tables[0].Set(1, 1, 1)
+	}
+	return p
 }
 
 // fig8: microarchitectural profile of the read-only local microbenchmark
 // across instance sizes: IPC, stalled cycles, LLC sharing.
-func runFig8(opt Options) *Result {
-	m := topology.QuadSocket()
+func planFig8(opt Options) *Plan {
 	configs := []int{24, 12, 8, 4, 2, 1}
 	if opt.Quick {
 		configs = []int{24, 4, 1}
@@ -203,25 +228,28 @@ func runFig8(opt Options) *Result {
 	}
 	tab := NewTable("microarchitectural profile", "",
 		"config", rows, "", []string{"IPC", "stalled %", "LLC sharing %"})
-	for i, n := range configs {
-		res := runMicro(m, n, stdRows,
-			workload.MicroConfig{RowsPerTxn: 10}, true, opt, nil)
-		tab.Set(i, 0, res.IPC)
-		tab.Set(i, 1, res.StallFrac*100)
-		tab.Set(i, 2, res.LLCShareFrac*100)
-	}
-	return &Result{
+	p := &Plan{Result: &Result{
 		ID: "fig8", Title: "Microarchitectural data per deployment", Ref: "Figure 8",
 		Notes: []string{
 			"paper: IPC is much higher for smaller instances; instances spanning sockets stall more",
 		},
 		Tables: []*Table{tab},
+	}}
+	for i, n := range configs {
+		p.Cells = append(p.Cells, microCell(fmt.Sprintf("fig8/%dISL", n), MicroSpec{
+			Machine: topology.QuadSocket, Instances: n, Rows: stdRows,
+			MC: workload.MicroConfig{RowsPerTxn: 10}, LocalOnly: true,
+		},
+			Emit{0, i, 0, func(x Metrics) float64 { return x.M.IPC }},
+			Emit{0, i, 1, func(x Metrics) float64 { return x.M.StallFrac * 100 }},
+			Emit{0, i, 2, func(x Metrics) float64 { return x.M.LLCShareFrac * 100 }}))
 	}
+	return p
 }
 
 func init() {
-	register(Experiment{ID: "fig3", Title: "TPC-C Payment by thread placement", Ref: "Figure 3", Run: runFig3})
-	register(Experiment{ID: "fig6", Title: "IPC mechanism throughput", Ref: "Figure 6", Run: runFig6})
-	register(Experiment{ID: "fig7", Title: "TPC-C Payment, perfectly partitionable", Ref: "Figure 7", Run: runFig7})
-	register(Experiment{ID: "fig8", Title: "Microarchitectural profile", Ref: "Figure 8", Run: runFig8})
+	register(Experiment{ID: "fig3", Title: "TPC-C Payment by thread placement", Ref: "Figure 3", Plan: planFig3})
+	register(Experiment{ID: "fig6", Title: "IPC mechanism throughput", Ref: "Figure 6", Plan: planFig6})
+	register(Experiment{ID: "fig7", Title: "TPC-C Payment, perfectly partitionable", Ref: "Figure 7", Plan: planFig7})
+	register(Experiment{ID: "fig8", Title: "Microarchitectural profile", Ref: "Figure 8", Plan: planFig8})
 }

@@ -23,6 +23,17 @@ type Options struct {
 	Short bool
 	// Seed perturbs workloads and OS placements.
 	Seed int64
+
+	// Parallel is how many plan cells the executor runs concurrently:
+	// 0 (the default) uses runtime.GOMAXPROCS, 1 forces sequential
+	// execution. Cells are independent simulations assembled by coordinate,
+	// so every setting produces identical tables; parallelism only changes
+	// wall-clock time.
+	Parallel int
+	// Progress, when non-nil, is called by the executor after each cell
+	// completes (never concurrently): the experiment id, the finished
+	// cell's name, and the done/total cell counts of the experiment.
+	Progress func(exp, cell string, done, total int)
 }
 
 // Table is one printable result grid.
@@ -50,12 +61,32 @@ type Experiment struct {
 	ID    string
 	Title string
 	Ref   string
-	Run   func(opt Options) *Result
+	// Plan builds the experiment's declarative cell plan; grid sizes depend
+	// on opt.Quick/opt.Short.
+	Plan func(opt Options) *Plan
+	// Run builds the plan and executes it; filled in by register.
+	Run func(opt Options) *Result
 }
 
-var registry []Experiment
+var (
+	registry []Experiment       // registration order
+	byID     = map[string]int{} // id -> registry index
+)
 
-func register(e Experiment) { registry = append(registry, e) }
+func register(e Experiment) {
+	if _, dup := byID[e.ID]; dup {
+		panic("harness: duplicate experiment id " + e.ID)
+	}
+	if e.Run == nil {
+		if e.Plan == nil {
+			panic("harness: experiment " + e.ID + " has neither Plan nor Run")
+		}
+		plan := e.Plan
+		e.Run = func(opt Options) *Result { return plan(opt).Execute(opt) }
+	}
+	byID[e.ID] = len(registry)
+	registry = append(registry, e)
+}
 
 // All returns every experiment in registration order.
 func All() []Experiment {
@@ -66,19 +97,18 @@ func All() []Experiment {
 
 // Get returns the experiment with the given id.
 func Get(id string) (Experiment, bool) {
-	for _, e := range registry {
-		if e.ID == id {
-			return e, true
-		}
+	i, ok := byID[id]
+	if !ok {
+		return Experiment{}, false
 	}
-	return Experiment{}, false
+	return registry[i], true
 }
 
 // IDs returns all experiment ids, sorted.
 func IDs() []string {
-	ids := make([]string, 0, len(registry))
-	for _, e := range registry {
-		ids = append(ids, e.ID)
+	ids := make([]string, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
 	}
 	sort.Strings(ids)
 	return ids

@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestParallelMatchesSequential is the executor's behavior-preservation
+// contract: for every registered experiment, a sequential run and a 4-way
+// parallel run at the same seed produce bit-identical tables. Cells are
+// self-contained simulations assembled by coordinate, so execution order —
+// and therefore concurrency — must not be observable in the result. The CI
+// race job runs this test under -race, covering the parallel path.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, e := range All() {
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			opt := Options{Quick: true, Short: testing.Short(), Seed: 11}
+			seq, par := opt, opt
+			seq.Parallel = 1
+			par.Parallel = 4
+			a := e.Run(seq)
+			b := e.Run(par)
+			if err := equalResults(a, b); err != nil {
+				t.Fatalf("parallel run diverges from sequential: %v", err)
+			}
+		})
+	}
+}
+
+func equalResults(a, b *Result) error {
+	if a.ID != b.ID || len(a.Tables) != len(b.Tables) {
+		return fmt.Errorf("shape: id %q/%q, %d/%d tables", a.ID, b.ID, len(a.Tables), len(b.Tables))
+	}
+	for ti := range a.Tables {
+		ta, tb := a.Tables[ti], b.Tables[ti]
+		if ta.Name != tb.Name || len(ta.Rows) != len(tb.Rows) || len(ta.Cols) != len(tb.Cols) {
+			return fmt.Errorf("table %d shape: %q vs %q", ti, ta.Name, tb.Name)
+		}
+		for i := range ta.Rows {
+			for j := range ta.Cols {
+				if ta.Values[i][j] != tb.Values[i][j] {
+					return fmt.Errorf("%s[%s][%s]: %v != %v",
+						ta.Name, ta.Rows[i], ta.Cols[j], ta.Values[i][j], tb.Values[i][j])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TestPlanShapes checks every registered plan's static structure in both
+// quick and quick+short modes without running any simulation: cells exist,
+// are uniquely named, and every emit lands inside its table.
+func TestPlanShapes(t *testing.T) {
+	for _, e := range All() {
+		if e.Plan == nil {
+			t.Errorf("%s: no plan builder", e.ID)
+			continue
+		}
+		for _, opt := range []Options{{Quick: true}, {Quick: true, Short: true}} {
+			p := e.Plan(opt)
+			if p.Result.ID != e.ID {
+				t.Errorf("%s: plan result id %q", e.ID, p.Result.ID)
+			}
+			if len(p.Cells) == 0 {
+				t.Errorf("%s: plan has no cells", e.ID)
+			}
+			names := make(map[string]bool, len(p.Cells))
+			for _, c := range p.Cells {
+				if c.Name == "" || c.Run == nil {
+					t.Errorf("%s: cell missing name or run", e.ID)
+				}
+				if names[c.Name] {
+					t.Errorf("%s: duplicate cell name %q", e.ID, c.Name)
+				}
+				names[c.Name] = true
+				for _, em := range c.Emits {
+					if em.Table < 0 || em.Table >= len(p.Result.Tables) {
+						t.Errorf("%s/%s: emit table %d out of range", e.ID, c.Name, em.Table)
+						continue
+					}
+					tab := p.Result.Tables[em.Table]
+					if em.Row < 0 || em.Row >= len(tab.Rows) || em.Col < 0 || em.Col >= len(tab.Cols) {
+						t.Errorf("%s/%s: emit (%d,%d) outside table %q", e.ID, c.Name, em.Row, em.Col, tab.Name)
+					}
+					if em.Metric == nil {
+						t.Errorf("%s/%s: emit without metric", e.ID, c.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExecutorProgress checks the per-cell progress callback: one call per
+// cell, done counting 1..total, and a total matching the plan, both
+// sequentially and in parallel (callbacks are serialized by the executor,
+// so the trace needs no locking).
+func TestExecutorProgress(t *testing.T) {
+	e, ok := Get("fig6")
+	if !ok {
+		t.Fatal("fig6 not registered")
+	}
+	for _, workers := range []int{1, 3} {
+		opt := Options{Quick: true, Short: testing.Short(), Seed: 3, Parallel: workers}
+		total := len(e.Plan(opt).Cells)
+		type tick struct {
+			exp, cell   string
+			done, total int
+		}
+		var trace []tick
+		opt.Progress = func(exp, cell string, done, total int) {
+			trace = append(trace, tick{exp, cell, done, total})
+		}
+		e.Run(opt)
+		if len(trace) != total {
+			t.Fatalf("parallel=%d: %d progress calls, want %d", workers, len(trace), total)
+		}
+		for i, tk := range trace {
+			if tk.done != i+1 || tk.total != total || tk.exp != "fig6" || tk.cell == "" {
+				t.Errorf("parallel=%d: tick %d = %+v", workers, i, tk)
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"islands/internal/core"
+	"islands/internal/topology"
+	"islands/internal/workload"
+)
+
+// The plan layer turns each experiment from an imperative nested loop into
+// declarative data. A Plan is a named set of Cells plus the (still empty)
+// Result tables they fill; each Cell is one fully self-contained
+// simulation — it constructs its own machine model, kernel, deployment,
+// workload generator and RNGs from the cell spec and the run's seed — and
+// carries the table coordinates its metrics land in. Because cells share
+// no mutable state, the executor (executor.go) may run them in any order,
+// or concurrently, and assemble an identical Result every time.
+
+// Metrics is what one cell's simulation produced. Deployment cells fill M;
+// cells that measure a scalar outside a deployment (the Section 3 counter
+// benchmarks, the Figure 6 ping-pong rates) fill Value.
+type Metrics struct {
+	M     core.Measurement
+	Value float64
+}
+
+// Emit wires one value of a cell's metrics to one table cell of the plan's
+// result: Tables[Table].Values[Row][Col] = Metric(metrics).
+type Emit struct {
+	Table int
+	Row   int
+	Col   int
+	// Metric projects the measurement onto the table cell's value. It must
+	// be pure: emits are applied in cell declaration order after all cells
+	// finish, regardless of completion order.
+	Metric func(Metrics) float64
+}
+
+// Cell is one independent unit of an experiment grid: machine + config
+// tweaks + workload + seed, with the output coordinates it feeds.
+type Cell struct {
+	// Name identifies the cell in progress reports, e.g. "fig12/update/FG/24".
+	Name string
+	// Run simulates the cell under the given options. Implementations must
+	// build every piece of state they touch (the executor may invoke cells
+	// of one plan concurrently from multiple goroutines).
+	Run func(opt Options) Metrics
+	// Emits maps the cell's metrics onto result tables.
+	Emits []Emit
+}
+
+// Plan is a declarative experiment: cells plus the tables they fill.
+type Plan struct {
+	// Result carries ID/title/notes and the pre-shaped tables; the executor
+	// writes the emitted values into it.
+	Result *Result
+	Cells  []Cell
+	// Finalize, when non-nil, runs after all cells completed and all emits
+	// were applied; it computes derived values that need more than one
+	// cell's metrics (ratios, mean/stddev over seed replicas).
+	Finalize func(res *Result, metrics []Metrics)
+}
+
+// tpsEmit emits throughput in KTps — the most common table value.
+func tpsEmit(table, row, col int) Emit {
+	return Emit{table, row, col, func(x Metrics) float64 { return x.M.ThroughputTPS / 1e3 }}
+}
+
+// valueEmit emits the cell's scalar value verbatim.
+func valueEmit(table, row, col int) Emit {
+	return Emit{table, row, col, func(x Metrics) float64 { return x.Value }}
+}
+
+// MicroSpec declares a microbenchmark deployment cell: which machine to
+// model, how many instances to deploy over it, the dataset and workload
+// mix, and how the cell perturbs the run's base seed.
+type MicroSpec struct {
+	// Machine constructs the cell's private machine model (cells must not
+	// share a *topology.Machine: some experiments scale LLC sizes or
+	// restrict active cores per cell).
+	Machine   func() *topology.Machine
+	Instances int
+	Rows      int64
+	MC        workload.MicroConfig
+	LocalOnly bool
+	// SeedDelta is added to opt.Seed for this cell (seed-replica cells).
+	SeedDelta int64
+	// Tweak optionally adjusts the built config (active cores, disk, ...).
+	Tweak func(*core.Config)
+}
+
+// microCell builds a standard microbenchmark cell from its spec.
+func microCell(name string, s MicroSpec, emits ...Emit) Cell {
+	return Cell{Name: name, Emits: emits, Run: func(opt Options) Metrics {
+		opt.Seed += s.SeedDelta
+		return Metrics{M: runMicro(s.Machine(), s.Instances, s.Rows, s.MC, s.LocalOnly, opt, s.Tweak)}
+	}}
+}
+
+// PaymentSpec declares a TPC-C Payment deployment cell.
+type PaymentSpec struct {
+	Machine    func() *topology.Machine
+	Instances  int
+	Warehouses int
+	RemotePct  float64
+	LocalOnly  bool
+	SeedDelta  int64
+	// ForceFull measures with the full (non-quick) window even in quick
+	// mode: Figure 3's placement gap needs the long window to clear noise.
+	ForceFull bool
+	// Placement, when non-nil, derives explicit worker core lists from the
+	// cell's machine and seed-adjusted options (thread-placement cells);
+	// nil uses the default islands placement.
+	Placement func(m *topology.Machine, opt Options) [][]topology.CoreID
+}
+
+// paymentCell builds a TPC-C Payment cell from its spec.
+func paymentCell(name string, s PaymentSpec, emits ...Emit) Cell {
+	return Cell{Name: name, Emits: emits, Run: func(opt Options) Metrics {
+		opt.Seed += s.SeedDelta
+		if s.ForceFull {
+			opt.Quick = false
+		}
+		m := s.Machine()
+		var cores [][]topology.CoreID
+		if s.Placement != nil {
+			cores = s.Placement(m, opt)
+		}
+		return Metrics{M: runPayment(m, s.Instances, s.Warehouses, s.RemotePct, s.LocalOnly, opt, cores)}
+	}}
+}
+
+// scalarCell builds a cell around a custom measurement returning one value
+// (counter benchmarks, ping-pong rates). run must construct all state it
+// touches.
+func scalarCell(name string, run func(opt Options) float64, emits ...Emit) Cell {
+	return Cell{Name: name, Emits: emits, Run: func(opt Options) Metrics {
+		return Metrics{Value: run(opt)}
+	}}
+}

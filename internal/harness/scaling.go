@@ -12,21 +12,21 @@ import (
 // fig12: throughput as hardware parallelism grows, on both machines, for
 // fine-grained (per-core), coarse-grained (per-socket) and shared-everything
 // deployments at 20% multisite.
-func runFig12(opt Options) *Result {
-	res := &Result{
+func planFig12(opt Options) *Plan {
+	p := &Plan{Result: &Result{
 		ID: "fig12", Title: "Scaling with active cores (20% multisite)", Ref: "Figure 12",
 		Notes: []string{
 			"paper: FG/CG scale linearly; SE scales sublinearly, worst on the octo-socket",
 			"QPI/IMC column reproduces the paper's NUMA-friendliness ratio at full core count",
 		},
-	}
+	}}
 	type machineCase struct {
-		m     *topology.Machine
-		steps []int
+		machine func() *topology.Machine
+		steps   []int
 	}
 	cases := []machineCase{
-		{topology.QuadSocket(), []int{6, 12, 18, 24}},
-		{topology.OctoSocket(), []int{20, 40, 60, 80}},
+		{topology.QuadSocket, []int{6, 12, 18, 24}},
+		{topology.OctoSocket, []int{20, 40, 60, 80}},
 	}
 	if opt.Quick {
 		cases[0].steps = []int{6, 24}
@@ -35,19 +35,18 @@ func runFig12(opt Options) *Result {
 	if opt.Short {
 		cases = cases[:1] // quad-socket only; the 80-core sweep dominates runtime
 	}
-	for _, write := range []bool{false, true} {
-		kind := "read-only"
-		if write {
-			kind = "update"
-		}
+	ti := 0
+	for _, wk := range writeKinds {
 		for _, mc := range cases {
+			m := mc.machine()
 			cols := make([]string, len(mc.steps)+1)
 			for j, s := range mc.steps {
 				cols[j] = fmt.Sprintf("%d", s)
 			}
 			cols[len(mc.steps)] = "QPI/IMC"
-			tab := NewTable(fmt.Sprintf("%s, %s", kind, mc.m.Name), "KTps",
-				"config", []string{"FG", "CG", "SE"}, "# cores", cols)
+			p.Result.Tables = append(p.Result.Tables,
+				NewTable(fmt.Sprintf("%s, %s", wk.kind, m.Name), "KTps",
+					"config", []string{"FG", "CG", "SE"}, "# cores", cols))
 			for i, cfgKind := range []string{"FG", "CG", "SE"} {
 				for j, active := range mc.steps {
 					instances := 1
@@ -55,27 +54,31 @@ func runFig12(opt Options) *Result {
 					case "FG":
 						instances = active
 					case "CG":
-						instances = active / mc.m.CoresPerSocket
+						instances = active / m.CoresPerSocket
 					}
-					mres := runMicro(mc.m, instances, stdRows, workload.MicroConfig{
-						RowsPerTxn: 10, Write: write, PctMultisite: 0.2,
-					}, false, opt, func(c *core.Config) { c.ActiveCores = active })
-					tab.Set(i, j, mres.ThroughputTPS/1e3)
+					emits := []Emit{tpsEmit(ti, i, j)}
 					if j == len(mc.steps)-1 {
-						tab.Set(i, len(mc.steps), mres.QPIPerIMC)
+						emits = append(emits, Emit{ti, i, len(mc.steps),
+							func(x Metrics) float64 { return x.M.QPIPerIMC }})
 					}
+					p.Cells = append(p.Cells, microCell(
+						fmt.Sprintf("fig12/%s/%s/%s/cores=%d", wk.kind, m.Name, cfgKind, active),
+						MicroSpec{
+							Machine: mc.machine, Instances: instances, Rows: stdRows,
+							MC:    workload.MicroConfig{RowsPerTxn: 10, Write: wk.write, PctMultisite: 0.2},
+							Tweak: func(c *core.Config) { c.ActiveCores = active },
+						}, emits...))
 				}
 			}
-			res.Tables = append(res.Tables, tab)
+			ti++
 		}
 	}
-	return res
+	return p
 }
 
 // fig13: tolerance to skew: Zipfian row selection with varying skew factor,
 // at 0/20/50% multisite, reads and updates of 2 rows.
-func runFig13(opt Options) *Result {
-	m := topology.QuadSocket()
+func planFig13(opt Options) *Plan {
 	skews := []float64{0, 0.25, 0.5, 0.75, 1.0}
 	pcts := []float64{0, 0.2, 0.5}
 	if opt.Quick {
@@ -95,40 +98,41 @@ func runFig13(opt Options) *Result {
 		cols[j] = fmt.Sprintf("s=%.2f", s)
 	}
 
-	res := &Result{
+	p := &Plan{Result: &Result{
 		ID: "fig13", Title: "Throughput under skewed access", Ref: "Figure 13",
 		Notes: []string{
 			"paper: skew collapses fine-grained SN (hot instance) and hurts SE under updates; coarse islands cope best",
 			"p=0% runs use the single-thread optimization, as the paper does for local-only workloads",
 		},
-	}
-	for _, write := range []bool{false, true} {
-		kind := "read-only"
-		if write {
-			kind = "update"
-		}
-		for _, p := range pcts {
-			tab := NewTable(fmt.Sprintf("%s, %.0f%% multisite", kind, p*100), "KTps",
-				"config", rows, "skew", cols)
+	}}
+	ti := 0
+	for _, wk := range writeKinds {
+		for _, pct := range pcts {
+			p.Result.Tables = append(p.Result.Tables,
+				NewTable(fmt.Sprintf("%s, %.0f%% multisite", wk.kind, pct*100), "KTps",
+					"config", rows, "skew", cols))
 			for i, n := range configs {
 				for j, s := range skews {
-					mres := runMicro(m, n, stdRows, workload.MicroConfig{
-						RowsPerTxn: 2, Write: write, PctMultisite: p, ZipfS: s,
-					}, p == 0, opt, nil)
-					tab.Set(i, j, mres.ThroughputTPS/1e3)
+					p.Cells = append(p.Cells, microCell(
+						fmt.Sprintf("fig13/%s/p=%.0f%%/%dISL/s=%.2f", wk.kind, pct*100, n, s),
+						MicroSpec{
+							Machine: topology.QuadSocket, Instances: n, Rows: stdRows,
+							MC:        workload.MicroConfig{RowsPerTxn: 2, Write: wk.write, PctMultisite: pct, ZipfS: s},
+							LocalOnly: pct == 0,
+						}, tpsEmit(ti, i, j)))
 				}
 			}
-			res.Tables = append(res.Tables, tab)
+			ti++
 		}
 	}
-	return res
+	return p
 }
 
 // fig14: growing database size from cache-resident to disk-resident.
 // Scaled by 1/100 in rows and buffer pool (and 1/10 in LLC) to preserve the
 // dataset/LLC and dataset/buffer-pool crossovers at tractable sizes; column
 // labels keep the paper's units.
-func runFig14(opt Options) *Result {
+func planFig14(opt Options) *Plan {
 	// Paper: 0.24M..120M rows, 12 GB buffer pool. Scaled: /100.
 	sizes := []int64{2400, 24000, 240000, 720000, 1200000}
 	labels := []string{"0.24M", "2.4M", "24M", "72M", "120M"}
@@ -144,8 +148,13 @@ func runFig14(opt Options) *Result {
 	const bpRows = 480000
 	bpPages := int(bpRows / 32)
 
-	machine := topology.QuadSocket()
-	machine.LLCBytes /= 10 // keep dataset-vs-LLC crossover after 1/100 row scaling
+	// Each cell builds its own scaled machine: LLC/10 keeps the
+	// dataset-vs-LLC crossover after the 1/100 row scaling.
+	scaledQuad := func() *topology.Machine {
+		m := topology.QuadSocket()
+		m.LLCBytes /= 10
+		return m
+	}
 
 	configs := []int{24, 4, 1}
 	rows := make([]string, len(configs))
@@ -153,31 +162,34 @@ func runFig14(opt Options) *Result {
 		rows[i] = fmt.Sprintf("%dISL", n)
 	}
 
-	res := &Result{
+	p := &Plan{Result: &Result{
 		ID: "fig14", Title: "Throughput vs database size (2 rows/txn)", Ref: "Figure 14",
 		Notes: []string{
 			"rows and buffer pool scaled 1/100, LLC 1/10: crossovers preserved, labels in paper units",
 			"beyond the buffer pool (rightmost points) throughput collapses to disk speed",
 		},
-	}
-	for _, write := range []bool{false, true} {
-		kind := "read-only"
-		if write {
-			kind = "update"
-		}
-		for _, p := range []float64{0, 0.2} {
-			tab := NewTable(fmt.Sprintf("%s, %.0f%% multisite", kind, p*100), "KTps",
-				"config", rows, "rows (paper scale)", labels)
+	}}
+	ti := 0
+	for _, wk := range writeKinds {
+		for _, pct := range []float64{0, 0.2} {
+			p.Result.Tables = append(p.Result.Tables,
+				NewTable(fmt.Sprintf("%s, %.0f%% multisite", wk.kind, pct*100), "KTps",
+					"config", rows, "rows (paper scale)", labels))
 			for i, n := range configs {
 				for j, size := range sizes {
-					mres := runFig14Cell(machine, n, size, write, p, bpPages, opt)
-					tab.Set(i, j, mres.ThroughputTPS/1e3)
+					p.Cells = append(p.Cells, Cell{
+						Name: fmt.Sprintf("fig14/%s/p=%.0f%%/%dISL/rows=%s", wk.kind, pct*100, n, labels[j]),
+						Run: func(o Options) Metrics {
+							return Metrics{M: runFig14Cell(scaledQuad(), n, size, wk.write, pct, bpPages, o)}
+						},
+						Emits: []Emit{tpsEmit(ti, i, j)},
+					})
 				}
 			}
-			res.Tables = append(res.Tables, tab)
+			ti++
 		}
 	}
-	return res
+	return p
 }
 
 // runFig14Cell measures one Figure 14 configuration. Buffer pools are
@@ -212,7 +224,7 @@ func runFig14Cell(machine *topology.Machine, n int, size int64, write bool, p fl
 }
 
 func init() {
-	register(Experiment{ID: "fig12", Title: "Scaling with active cores", Ref: "Figure 12", Run: runFig12})
-	register(Experiment{ID: "fig13", Title: "Throughput under skewed access", Ref: "Figure 13", Run: runFig13})
-	register(Experiment{ID: "fig14", Title: "Throughput vs database size", Ref: "Figure 14", Run: runFig14})
+	register(Experiment{ID: "fig12", Title: "Scaling with active cores", Ref: "Figure 12", Plan: planFig12})
+	register(Experiment{ID: "fig13", Title: "Throughput under skewed access", Ref: "Figure 13", Plan: planFig13})
+	register(Experiment{ID: "fig14", Title: "Throughput vs database size", Ref: "Figure 14", Plan: planFig14})
 }

@@ -8,10 +8,16 @@ import (
 	"islands/internal/workload"
 )
 
+// writeKinds orders the read-only/update halves shared by the sweep
+// experiments; the table order matches the sequential harness of old.
+var writeKinds = []struct {
+	write bool
+	kind  string
+}{{false, "read-only"}, {true, "update"}}
+
 // fig9: throughput as the percentage of multisite transactions grows, for
 // the read-10 and update-10 microbenchmarks over 24ISL / 4ISL / 1ISL.
-func runFig9(opt Options) *Result {
-	m := topology.QuadSocket()
+func planFig9(opt Options) *Plan {
 	pcts := []float64{0, 0.1, 0.2, 0.4, 0.6, 0.8, 1}
 	if opt.Quick {
 		pcts = []float64{0, 0.2, 1}
@@ -30,36 +36,35 @@ func runFig9(opt Options) *Result {
 		rows[i] = fmt.Sprintf("%dISL", n)
 	}
 
-	res := &Result{
+	p := &Plan{Result: &Result{
 		ID: "fig9", Title: "Throughput vs fraction of multisite transactions", Ref: "Figure 9",
 		Notes: []string{
 			"paper: shared-everything stays flat; shared-nothing degrades, fine-grained most",
 			"locking stays on in all configurations: distributed transactions make it mandatory (Sec 7.1.2)",
 		},
-	}
-	for _, write := range []bool{false, true} {
+	}}
+	for ti, wk := range writeKinds {
 		name := "retrieving 10 rows"
-		if write {
+		if wk.write {
 			name = "updating 10 rows"
 		}
-		tab := NewTable(name, "KTps", "config", rows, "% multisite", cols)
+		p.Result.Tables = append(p.Result.Tables, NewTable(name, "KTps", "config", rows, "% multisite", cols))
 		for i, n := range configs {
-			for j, p := range pcts {
-				mres := runMicro(m, n, stdRows, workload.MicroConfig{
-					RowsPerTxn: 10, Write: write, PctMultisite: p,
-				}, false, opt, nil)
-				tab.Set(i, j, mres.ThroughputTPS/1e3)
+			for j, pct := range pcts {
+				p.Cells = append(p.Cells, microCell(
+					fmt.Sprintf("fig9/%s/%dISL/p=%.0f%%", wk.kind, n, pct*100), MicroSpec{
+						Machine: topology.QuadSocket, Instances: n, Rows: stdRows,
+						MC: workload.MicroConfig{RowsPerTxn: 10, Write: wk.write, PctMultisite: pct},
+					}, tpsEmit(ti, i, j)))
 			}
 		}
-		res.Tables = append(res.Tables, tab)
 	}
-	return res
+	return p
 }
 
 // fig10: cost per transaction as the number of rows grows: local and
 // multisite, read-only and update, for six configurations.
-func runFig10(opt Options) *Result {
-	m := topology.QuadSocket()
+func planFig10(opt Options) *Plan {
 	rowsPerTxn := []int{2, 4, 8, 12, 18, 24, 30, 40, 60, 80, 100}
 	configs := []int{24, 12, 8, 4, 2, 1}
 	if opt.Quick {
@@ -78,12 +83,18 @@ func runFig10(opt Options) *Result {
 		rowLabels[i] = fmt.Sprintf("%dISL", n)
 	}
 
-	res := &Result{
+	p := &Plan{Result: &Result{
 		ID: "fig10", Title: "Cost per transaction vs rows accessed", Ref: "Figure 10",
 		Notes: []string{
 			"cost = active cores x window / committed transactions, as the paper reports it",
 			"local charts run the single-thread optimization on 24ISL (no locking/latching)",
 		},
+	}}
+	numCores := topology.QuadSocket().NumCores()
+	costEmit := func(table, row, col int) Emit {
+		return Emit{table, row, col, func(x Metrics) float64 {
+			return float64(x.M.CostPerTxn(numCores)) / 1e3
+		}}
 	}
 	type variant struct {
 		name      string
@@ -96,29 +107,29 @@ func runFig10(opt Options) *Result {
 		{"local update", true, false},
 		{"multisite update", true, true},
 	}
-	for _, v := range variants {
-		tab := NewTable(v.name, "us/txn", "config", rowLabels, "rows", cols)
+	for ti, v := range variants {
+		p.Result.Tables = append(p.Result.Tables, NewTable(v.name, "us/txn", "config", rowLabels, "rows", cols))
 		for i, n := range configs {
 			for j, r := range rowsPerTxn {
 				pct := 0.0
 				if v.multisite {
 					pct = 1.0
 				}
-				mres := runMicro(m, n, stdRows, workload.MicroConfig{
-					RowsPerTxn: r, Write: v.write, PctMultisite: pct,
-				}, !v.multisite, opt, nil)
-				tab.Set(i, j, float64(mres.CostPerTxn(m.NumCores()))/1e3)
+				p.Cells = append(p.Cells, microCell(
+					fmt.Sprintf("fig10/%s/%dISL/rows=%d", v.name, n, r), MicroSpec{
+						Machine: topology.QuadSocket, Instances: n, Rows: stdRows,
+						MC:        workload.MicroConfig{RowsPerTxn: r, Write: v.write, PctMultisite: pct},
+						LocalOnly: !v.multisite,
+					}, costEmit(ti, i, j)))
 			}
 		}
-		res.Tables = append(res.Tables, tab)
 	}
-	return res
+	return p
 }
 
 // fig11: time breakdown per transaction for the 4-row microbenchmarks on
 // 4ISL at 0/50/100% multisite.
-func runFig11(opt Options) *Result {
-	m := topology.QuadSocket()
+func planFig11(Options) *Plan {
 	pcts := []float64{0, 0.5, 1}
 	buckets := []struct {
 		name string
@@ -139,38 +150,45 @@ func runFig11(opt Options) *Result {
 		cols[j] = fmt.Sprintf("%.0f%%", p*100)
 	}
 
-	res := &Result{
+	p := &Plan{Result: &Result{
 		ID: "fig11", Title: "Time breakdown per transaction (4ISL, 4 rows)", Ref: "Figure 11",
 		Notes: []string{
 			"paper: communication dominates distributed read-only; updates split between communication and logging",
 		},
+	}}
+	bucketEmit := func(table, row, col int, ids []exec.Bucket) Emit {
+		return Emit{table, row, col, func(x Metrics) float64 {
+			bd := x.M.BreakdownPerTxn()
+			var sum float64
+			for _, id := range ids {
+				sum += float64(bd[id])
+			}
+			return sum / 1e3
+		}}
 	}
-	for _, write := range []bool{false, true} {
+	for ti, wk := range writeKinds {
 		name := "retrieving 4 rows"
-		if write {
+		if wk.write {
 			name = "updating 4 rows"
 		}
-		tab := NewTable(name, "us/txn", "component", rowLabels, "% multisite", cols)
-		for j, p := range pcts {
-			mres := runMicro(m, 4, stdRows, workload.MicroConfig{
-				RowsPerTxn: 4, Write: write, PctMultisite: p,
-			}, false, opt, nil)
-			bd := mres.BreakdownPerTxn()
+		p.Result.Tables = append(p.Result.Tables, NewTable(name, "us/txn", "component", rowLabels, "% multisite", cols))
+		for j, pct := range pcts {
+			emits := make([]Emit, 0, len(buckets))
 			for i, b := range buckets {
-				var sum float64
-				for _, id := range b.ids {
-					sum += float64(bd[id])
-				}
-				tab.Set(i, j, sum/1e3)
+				emits = append(emits, bucketEmit(ti, i, j, b.ids))
 			}
+			p.Cells = append(p.Cells, microCell(
+				fmt.Sprintf("fig11/%s/p=%.0f%%", wk.kind, pct*100), MicroSpec{
+					Machine: topology.QuadSocket, Instances: 4, Rows: stdRows,
+					MC: workload.MicroConfig{RowsPerTxn: 4, Write: wk.write, PctMultisite: pct},
+				}, emits...))
 		}
-		res.Tables = append(res.Tables, tab)
 	}
-	return res
+	return p
 }
 
 func init() {
-	register(Experiment{ID: "fig9", Title: "Throughput vs % multisite transactions", Ref: "Figure 9", Run: runFig9})
-	register(Experiment{ID: "fig10", Title: "Cost per transaction vs rows accessed", Ref: "Figure 10", Run: runFig10})
-	register(Experiment{ID: "fig11", Title: "Per-transaction time breakdown", Ref: "Figure 11", Run: runFig11})
+	register(Experiment{ID: "fig9", Title: "Throughput vs % multisite transactions", Ref: "Figure 9", Plan: planFig9})
+	register(Experiment{ID: "fig10", Title: "Cost per transaction vs rows accessed", Ref: "Figure 10", Plan: planFig10})
+	register(Experiment{ID: "fig11", Title: "Per-transaction time breakdown", Ref: "Figure 11", Plan: planFig11})
 }

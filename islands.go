@@ -176,7 +176,11 @@ func Advise(base Config, candidates []int, pMultisite float64, mc MicroConfig, o
 // Experiment reproduces one of the paper's tables or figures.
 type Experiment = harness.Experiment
 
-// ExperimentOptions tune experiment runs.
+// ExperimentOptions tune experiment runs. Experiments are declarative cell
+// plans executed on a worker pool: Parallel sets the number of
+// concurrently-run cells (0 = GOMAXPROCS, 1 = sequential; results are
+// identical at any setting), and Progress optionally observes per-cell
+// completion.
 type ExperimentOptions = harness.Options
 
 // ExperimentResult is an experiment's formatted output.
