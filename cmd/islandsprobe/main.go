@@ -11,13 +11,14 @@
 //
 // Usage:
 //
-//	islandsprobe [-seed N] [-experiments] [-full] [-parallel N] [-progress]
+//	islandsprobe [-seed N] [-experiments] [-full] [-parallel N] [-progress] [-celltimes]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"islands"
 )
@@ -28,11 +29,12 @@ func main() {
 	full := flag.Bool("full", false, "fingerprint the full-mode sweeps instead of quick mode (very slow; implies -experiments)")
 	parallel := flag.Int("parallel", 0, "concurrently-run experiment cells (0 = GOMAXPROCS, 1 = sequential)")
 	progress := flag.Bool("progress", false, "report per-cell experiment progress on stderr")
+	celltimes := flag.Bool("celltimes", false, "report per-cell wall-clock on stderr (the accounting behind cell cost hints)")
 	flag.Parse()
 
 	probeDeployments(*seed)
 	if *experiments || *full {
-		probeExperiments(*seed, *full, *parallel, *progress)
+		probeExperiments(*seed, *full, *parallel, *progress, *celltimes)
 	}
 }
 
@@ -69,13 +71,18 @@ func probeDeployments(seed int64) {
 }
 
 // probeExperiments prints every cell of every experiment table at full float
-// precision. Progress (when requested) goes to stderr so the fingerprint on
-// stdout stays byte-comparable.
-func probeExperiments(seed int64, full bool, parallel int, progress bool) {
+// precision. Progress and cell times (when requested) go to stderr so the
+// fingerprint on stdout stays byte-comparable.
+func probeExperiments(seed int64, full bool, parallel int, progress, celltimes bool) {
 	opt := islands.ExperimentOptions{Quick: !full, Seed: seed, Parallel: parallel}
 	if progress {
 		opt.Progress = func(exp, cell string, done, total int) {
 			fmt.Fprintf(os.Stderr, "%s: %d/%d cells (%s)\n", exp, done, total, cell)
+		}
+	}
+	if celltimes {
+		opt.CellTime = func(exp, cell string, elapsed time.Duration) {
+			fmt.Fprintf(os.Stderr, "celltime %s %.3fs\n", cell, elapsed.Seconds())
 		}
 	}
 	for _, e := range islands.Experiments() {

@@ -2,19 +2,40 @@ package harness
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// dispatchOrder returns the indices in which the parallel executor starts
+// cells: by descending CostHint, declaration order within equal hints.
+// Starting the known-long cells (disk-bound fig14 points, forced-full fig3
+// windows) first keeps them off the tail of the schedule, where one
+// straggler would dominate the plan's critical path at high worker counts.
+func dispatchOrder(cells []Cell) []int {
+	order := make([]int, len(cells))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return cells[order[a]].CostHint > cells[order[b]].CostHint
+	})
+	return order
+}
 
 // Execute runs the plan's cells and assembles the result.
 //
 // Cell execution order is unspecified: opt.Parallel workers (default
-// runtime.GOMAXPROCS) pull cells from a shared index and run each cell's
-// simulation on one worker goroutine. Assembly is nonetheless deterministic —
-// metrics are stored by cell index, emits are applied in declaration order
-// after every cell finished, and Finalize runs last — so a parallel run is
-// cell-for-cell identical to a sequential one (TestParallelMatchesSequential
-// asserts this for every registered experiment).
+// runtime.GOMAXPROCS) pull cells from a shared dispatch order (longest
+// hinted first) and run each cell's simulation on one worker goroutine.
+// Assembly is nonetheless deterministic — metrics are stored by cell index,
+// emits are applied in declaration order after every cell finished, and
+// Finalize runs last — so a parallel run is cell-for-cell identical to a
+// sequential one (TestParallelMatchesSequential asserts this for every
+// registered experiment). The executor also measures each cell's wall-clock
+// and reports it through opt.CellTime, the accounting behind future static
+// hints.
 func (p *Plan) Execute(opt Options) *Result {
 	n := len(p.Cells)
 	metrics := make([]Metrics, n)
@@ -30,26 +51,37 @@ func (p *Plan) Execute(opt Options) *Result {
 		workers = n
 	}
 
-	// report serializes Progress callbacks; done counts completions, which
-	// under parallelism is not the cell index.
+	// report serializes the Progress and CellTime callbacks; done counts
+	// completions, which under parallelism is not the cell index.
 	var mu sync.Mutex
 	done := 0
-	report := func(i int) {
-		if opt.Progress == nil {
+	report := func(i int, elapsed time.Duration) {
+		if opt.Progress == nil && opt.CellTime == nil {
 			return
 		}
 		mu.Lock()
 		done++
-		opt.Progress(p.Result.ID, p.Cells[i].Name, done, n)
+		if opt.CellTime != nil {
+			opt.CellTime(p.Result.ID, p.Cells[i].Name, elapsed)
+		}
+		if opt.Progress != nil {
+			opt.Progress(p.Result.ID, p.Cells[i].Name, done, n)
+		}
 		mu.Unlock()
+	}
+
+	runCell := func(i int) {
+		start := time.Now()
+		metrics[i] = p.Cells[i].Run(opt)
+		report(i, time.Since(start))
 	}
 
 	if workers <= 1 {
 		for i := range p.Cells {
-			metrics[i] = p.Cells[i].Run(opt)
-			report(i)
+			runCell(i)
 		}
 	} else {
+		order := dispatchOrder(p.Cells)
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -57,12 +89,11 @@ func (p *Plan) Execute(opt Options) *Result {
 			go func() {
 				defer wg.Done()
 				for {
-					i := int(next.Add(1)) - 1
-					if i >= n {
+					k := int(next.Add(1)) - 1
+					if k >= n {
 						return
 					}
-					metrics[i] = p.Cells[i].Run(opt)
-					report(i)
+					runCell(order[k])
 				}
 			}()
 		}

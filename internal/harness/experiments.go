@@ -44,26 +44,35 @@ func runMicro(m *topology.Machine, instances int, rows int64, mc workload.MicroC
 	return d.Run(warmup, window)
 }
 
-// runPayment deploys TPC-C Payment over the machine.
-func runPayment(m *topology.Machine, instances int, warehouses int, remotePct float64,
-	localOnly bool, opt Options, instanceCores [][]topology.CoreID) core.Measurement {
+// runTPCC deploys the spec's TPC-C transaction mix over the machine. The
+// deployment declares exactly the tables the mix touches, so Payment-only
+// cells build the historical four-table dataset (and the historical request
+// stream — the mix generator skips the transaction-selection draw for
+// single-kind mixes), keeping their fingerprints byte-identical.
+func runTPCC(m *topology.Machine, s TPCCSpec, opt Options,
+	instanceCores [][]topology.CoreID) core.Measurement {
 
 	cfg := core.Config{
 		Machine:       m,
-		Instances:     instances,
+		Instances:     s.Instances,
 		Placement:     core.PlacementIslands,
 		InstanceCores: instanceCores,
 		Mechanism:     ipc.UnixSocket,
-		LocalOnly:     localOnly,
+		LocalOnly:     s.LocalOnly,
 		Seed:          opt.Seed,
 	}
-	for _, t := range workload.TPCCTableSet(warehouses) {
+	for _, t := range workload.MixTableSet(s.Warehouses, s.Mix, s.Sizing) {
 		cfg.Tables = append(cfg.Tables, core.TableDecl{ID: t.ID, Name: t.Name, RowBytes: t.RowBytes, Rows: t.Rows})
 	}
 	d := core.NewDeployment(cfg)
 	defer d.Close()
-	src := workload.NewPayment(workload.TPCCConfig{
-		Warehouses: warehouses, RemotePct: remotePct, Seed: opt.Seed + 2,
+	src := workload.NewMix(workload.MixConfig{
+		Warehouses:    s.Warehouses,
+		Weights:       s.Mix,
+		RemotePct:     s.RemotePct,
+		RemoteItemPct: s.RemoteItemPct,
+		Sizing:        s.Sizing,
+		Seed:          opt.Seed + 2,
 	}, d.Part)
 	d.Start(src)
 	warmup, window := windows(opt)
@@ -102,9 +111,9 @@ func planFig3(opt Options) *Plan {
 		{"mix", func(m *topology.Machine) []topology.CoreID { return topology.MixPlacement(m, 4, 2).Cores }},
 	}
 	for i, pl := range fixed {
-		p.Cells = append(p.Cells, paymentCell("fig3/"+pl.name, PaymentSpec{
+		p.Cells = append(p.Cells, tpccCell("fig3/"+pl.name, TPCCSpec{
 			Machine: topology.QuadSocket, Instances: 1, Warehouses: fig3Warehouses,
-			RemotePct: 0.15, ForceFull: true,
+			Mix: workload.PaymentOnly(), RemotePct: 0.15, ForceFull: true,
 			Placement: func(m *topology.Machine, _ Options) [][]topology.CoreID {
 				return [][]topology.CoreID{pl.cores(m)}
 			},
@@ -113,9 +122,9 @@ func planFig3(opt Options) *Plan {
 
 	osStart := len(p.Cells)
 	for s := 0; s < seeds; s++ {
-		p.Cells = append(p.Cells, paymentCell(fmt.Sprintf("fig3/os/seed%d", s), PaymentSpec{
+		p.Cells = append(p.Cells, tpccCell(fmt.Sprintf("fig3/os/seed%d", s), TPCCSpec{
 			Machine: topology.QuadSocket, Instances: 1, Warehouses: fig3Warehouses,
-			RemotePct: 0.15, ForceFull: true, SeedDelta: int64(s) * 104729,
+			Mix: workload.PaymentOnly(), RemotePct: 0.15, ForceFull: true, SeedDelta: int64(s) * 104729,
 			Placement: func(m *topology.Machine, o Options) [][]topology.CoreID {
 				return [][]topology.CoreID{topology.OSPlacement(m, 4, randFor(o.Seed)).Cores}
 			},
@@ -203,8 +212,9 @@ func planFig7(Options) *Plan {
 		Tables: []*Table{tab},
 	}}
 	for i, instances := range []int{24, 1} {
-		p.Cells = append(p.Cells, paymentCell(fmt.Sprintf("fig7/%dISL", instances), PaymentSpec{
-			Machine: topology.QuadSocket, Instances: instances, Warehouses: 24, LocalOnly: true,
+		p.Cells = append(p.Cells, tpccCell(fmt.Sprintf("fig7/%dISL", instances), TPCCSpec{
+			Machine: topology.QuadSocket, Instances: instances, Warehouses: 24,
+			Mix: workload.PaymentOnly(), LocalOnly: true,
 		}, tpsEmit(0, i, 0)))
 	}
 	p.Finalize = func(res *Result, metrics []Metrics) {

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Options tune an experiment run.
@@ -34,6 +35,11 @@ type Options struct {
 	// completes (never concurrently): the experiment id, the finished
 	// cell's name, and the done/total cell counts of the experiment.
 	Progress func(exp, cell string, done, total int)
+	// CellTime, when non-nil, receives each completed cell's measured
+	// wall-clock (serialized like Progress, and called before it). This is
+	// the executor's per-cell accounting: long-running outliers found here
+	// become static Cell.CostHint values so later runs schedule them first.
+	CellTime func(exp, cell string, elapsed time.Duration)
 }
 
 // Table is one printable result grid.

@@ -24,7 +24,7 @@ func runExp(t *testing.T, id string) *Result {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig2", "table1", "fig3", "fig6", "fig7", "fig8",
-		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14"}
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "tpcc"}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {
 			t.Errorf("missing experiment %s", id)
@@ -261,6 +261,50 @@ func TestFig14DiskCliff(t *testing.T) {
 			}
 			if disk <= 0 {
 				t.Errorf("%s %s: disk-bound run committed nothing", tab.Name, tab.Rows[i])
+			}
+		}
+	}
+}
+
+func TestTPCCMixShapes(t *testing.T) {
+	t.Parallel()
+	res := runExp(t, "tpcc")
+	tps := res.Find("throughput")
+	frac := res.Find("multisite fraction")
+	if tps == nil || frac == nil {
+		t.Fatal("tpcc result tables missing")
+	}
+	last := len(tps.Cols) - 1
+	// Fine-grained shared-nothing wins when perfectly partitionable...
+	if tps.Get(0, 0) <= tps.Get(len(tps.Rows)-1, 0) {
+		t.Errorf("24ISL at 0x (%.0f) should beat SE (%.0f)", tps.Get(0, 0), tps.Get(len(tps.Rows)-1, 0))
+	}
+	// ... and degrades as remote payments and remote stock grow.
+	if tps.Get(0, last) >= tps.Get(0, 0) {
+		t.Errorf("24ISL should degrade with remote scale: %.0f -> %.0f", tps.Get(0, 0), tps.Get(0, last))
+	}
+	// Shared-everything never issues multisite transactions; the multisite
+	// fraction at 0x is zero everywhere and grows with the remote scale for
+	// partitioned configs.
+	se := len(frac.Rows) - 1
+	for j := range frac.Cols {
+		if frac.Get(se, j) != 0 {
+			t.Errorf("SE multisite fraction at col %d = %.2f, want 0", j, frac.Get(se, j))
+		}
+	}
+	for i := range frac.Rows {
+		if frac.Get(i, 0) != 0 {
+			t.Errorf("%s multisite fraction at 0x = %.2f, want 0", frac.Rows[i], frac.Get(i, 0))
+		}
+	}
+	if !(frac.Get(0, last) > frac.Get(0, 0)) {
+		t.Errorf("24ISL multisite fraction should grow: %.2f -> %.2f", frac.Get(0, 0), frac.Get(0, last))
+	}
+	// Every cell committed work.
+	for i := range tps.Rows {
+		for j := range tps.Cols {
+			if tps.Get(i, j) <= 0 {
+				t.Errorf("tpcc[%s][%s] committed nothing", tps.Rows[i], tps.Cols[j])
 			}
 		}
 	}

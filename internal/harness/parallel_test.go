@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"testing"
+	"time"
 )
 
 // TestParallelMatchesSequential is the executor's behavior-preservation
@@ -89,6 +90,84 @@ func TestPlanShapes(t *testing.T) {
 					}
 				}
 			}
+		}
+	}
+}
+
+// TestDispatchOrderHonorsCostHints checks the parallel executor's start
+// order: higher-hinted cells first, declaration order breaking ties. The
+// hint must never affect results (TestParallelMatchesSequential), only when
+// long cells begin.
+func TestDispatchOrderHonorsCostHints(t *testing.T) {
+	cells := []Cell{
+		{Name: "a", CostHint: 0},
+		{Name: "b", CostHint: 2},
+		{Name: "c", CostHint: 0},
+		{Name: "d", CostHint: 1},
+		{Name: "e", CostHint: 2},
+	}
+	got := dispatchOrder(cells)
+	want := []int{1, 4, 3, 0, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFig14DiskBoundCellsHinted pins the satellite wiring: the plan's
+// disk-bound cells (the wall-clock outliers) carry a positive cost hint and
+// therefore dispatch before the in-memory cells.
+func TestFig14DiskBoundCellsHinted(t *testing.T) {
+	e, ok := Get("fig14")
+	if !ok {
+		t.Fatal("fig14 not registered")
+	}
+	p := e.Plan(Options{Quick: true})
+	hinted := 0
+	for _, c := range p.Cells {
+		if c.CostHint > 0 {
+			hinted++
+		}
+	}
+	if hinted == 0 || hinted == len(p.Cells) {
+		t.Fatalf("fig14 has %d/%d hinted cells; want some but not all", hinted, len(p.Cells))
+	}
+	order := dispatchOrder(p.Cells)
+	for i := 0; i < hinted; i++ {
+		if p.Cells[order[i]].CostHint == 0 {
+			t.Fatalf("dispatch slot %d is an unhinted cell before all hinted ones ran", i)
+		}
+	}
+}
+
+// TestExecutorCellTime checks the wall-clock accounting callback: exactly
+// one call per cell with a nonnegative elapsed time, sequentially and in
+// parallel (calls are serialized, so the trace needs no locking).
+func TestExecutorCellTime(t *testing.T) {
+	e, ok := Get("fig6")
+	if !ok {
+		t.Fatal("fig6 not registered")
+	}
+	for _, workers := range []int{1, 3} {
+		opt := Options{Quick: true, Short: testing.Short(), Seed: 5, Parallel: workers}
+		total := len(e.Plan(opt).Cells)
+		seen := map[string]time.Duration{}
+		opt.CellTime = func(exp, cell string, elapsed time.Duration) {
+			if exp != "fig6" {
+				t.Errorf("cell time for experiment %q", exp)
+			}
+			if _, dup := seen[cell]; dup {
+				t.Errorf("cell %q timed twice", cell)
+			}
+			if elapsed < 0 {
+				t.Errorf("cell %q has negative elapsed %v", cell, elapsed)
+			}
+			seen[cell] = elapsed
+		}
+		e.Run(opt)
+		if len(seen) != total {
+			t.Fatalf("parallel=%d: %d cell times, want %d", workers, len(seen), total)
 		}
 	}
 }

@@ -40,6 +40,13 @@ type Emit struct {
 type Cell struct {
 	// Name identifies the cell in progress reports, e.g. "fig12/update/FG/24".
 	Name string
+	// CostHint ranks the cell's expected wall-clock against its plan
+	// siblings (0 = typical). The parallel executor dispatches
+	// higher-hinted cells first, so known-long cells — fig14's disk-bound
+	// points, fig3's forced-full windows — do not start last and stretch
+	// the critical path at high worker counts. Results are hint-independent:
+	// metrics are stored by cell index and emits apply in declaration order.
+	CostHint float64
 	// Run simulates the cell under the given options. Implementations must
 	// build every piece of state they touch (the executor may invoke cells
 	// of one plan concurrently from multiple goroutines).
@@ -96,14 +103,24 @@ func microCell(name string, s MicroSpec, emits ...Emit) Cell {
 	}}
 }
 
-// PaymentSpec declares a TPC-C Payment deployment cell.
-type PaymentSpec struct {
+// TPCCSpec declares a TPC-C deployment cell. Mix selects the transaction
+// blend: the historical Payment-only experiments are one point in the mix
+// space (workload.PaymentOnly), the full standard mix another
+// (workload.StandardMix).
+type TPCCSpec struct {
 	Machine    func() *topology.Machine
 	Instances  int
 	Warehouses int
-	RemotePct  float64
-	LocalOnly  bool
-	SeedDelta  int64
+	// Mix weights the five TPC-C transactions (required).
+	Mix workload.MixWeights
+	// RemotePct is Payment's remote-customer probability; RemoteItemPct is
+	// NewOrder's per-line remote-supplier probability.
+	RemotePct     float64
+	RemoteItemPct float64
+	// Sizing scales table cardinalities; zero value = specification sizes.
+	Sizing    workload.Sizing
+	LocalOnly bool
+	SeedDelta int64
 	// ForceFull measures with the full (non-quick) window even in quick
 	// mode: Figure 3's placement gap needs the long window to clear noise.
 	ForceFull bool
@@ -113,9 +130,14 @@ type PaymentSpec struct {
 	Placement func(m *topology.Machine, opt Options) [][]topology.CoreID
 }
 
-// paymentCell builds a TPC-C Payment cell from its spec.
-func paymentCell(name string, s PaymentSpec, emits ...Emit) Cell {
-	return Cell{Name: name, Emits: emits, Run: func(opt Options) Metrics {
+// tpccCell builds a TPC-C cell from its spec. ForceFull cells run the long
+// window even in quick mode, so they carry a cost hint for the scheduler.
+func tpccCell(name string, s TPCCSpec, emits ...Emit) Cell {
+	var hint float64
+	if s.ForceFull {
+		hint = 1
+	}
+	return Cell{Name: name, CostHint: hint, Emits: emits, Run: func(opt Options) Metrics {
 		opt.Seed += s.SeedDelta
 		if s.ForceFull {
 			opt.Quick = false
@@ -125,7 +147,7 @@ func paymentCell(name string, s PaymentSpec, emits ...Emit) Cell {
 		if s.Placement != nil {
 			cores = s.Placement(m, opt)
 		}
-		return Metrics{M: runPayment(m, s.Instances, s.Warehouses, s.RemotePct, s.LocalOnly, opt, cores)}
+		return Metrics{M: runTPCC(m, s, opt, cores)}
 	}}
 }
 

@@ -31,14 +31,25 @@ type MicroConfig struct {
 	Seed         int64
 }
 
+// microStream is one (instance, worker) request stream: its RNG plus
+// reusable per-request scratch. The closed-loop worker consumes a request
+// fully before asking for the next one, and the engine copies whatever it
+// keeps, so reusing the op buffer per stream is safe and keeps Next
+// allocation-free in steady state (guarded by BenchmarkMicroNext).
+type microStream struct {
+	rng  *rand.Rand
+	ops  []engine.Op
+	seen map[int64]bool
+}
+
 // Micro generates microbenchmark requests. It is deterministic per
 // (instance, worker) stream and safe for the simulator's single-threaded
 // execution model.
 type Micro struct {
-	cfg   MicroConfig
-	part  PartitionInfo
-	zipfs *zipfCache
-	rngs  map[[2]int32]*rand.Rand
+	cfg     MicroConfig
+	part    PartitionInfo
+	zipfs   *zipfCache
+	streams map[[2]int32]*microStream
 }
 
 // NewMicro builds a generator over the deployment described by part.
@@ -46,17 +57,21 @@ func NewMicro(cfg MicroConfig, part PartitionInfo) *Micro {
 	if cfg.RowsPerTxn < 1 {
 		panic("workload: RowsPerTxn must be >= 1")
 	}
-	return &Micro{cfg: cfg, part: part, zipfs: newZipfCache(), rngs: make(map[[2]int32]*rand.Rand)}
+	return &Micro{cfg: cfg, part: part, zipfs: newZipfCache(), streams: make(map[[2]int32]*microStream)}
 }
 
-func (m *Micro) rng(inst engine.InstanceID, worker int) *rand.Rand {
+func (m *Micro) stream(inst engine.InstanceID, worker int) *microStream {
 	k := [2]int32{int32(inst), int32(worker)}
-	r := m.rngs[k]
-	if r == nil {
-		r = rand.New(rand.NewSource(m.cfg.Seed + int64(inst)*1315423911 + int64(worker)*2654435761))
-		m.rngs[k] = r
+	st := m.streams[k]
+	if st == nil {
+		st = &microStream{
+			rng:  rand.New(rand.NewSource(m.cfg.Seed + int64(inst)*1315423911 + int64(worker)*2654435761)),
+			ops:  make([]engine.Op, 0, m.cfg.RowsPerTxn),
+			seen: make(map[int64]bool, m.cfg.RowsPerTxn),
+		}
+		m.streams[k] = st
 	}
-	return r
+	return st
 }
 
 func (m *Micro) kind() engine.OpKind {
@@ -66,15 +81,19 @@ func (m *Micro) kind() engine.OpKind {
 	return engine.OpRead
 }
 
-// Next implements engine.RequestSource.
+// Next implements engine.RequestSource. The returned request's op slice is
+// valid until the same stream's next call (the closed-loop worker finishes
+// one request before requesting the next).
 func (m *Micro) Next(inst engine.InstanceID, worker int) engine.Request {
-	rng := m.rng(inst, worker)
+	st := m.stream(inst, worker)
+	rng := st.rng
 	base, localRows := m.part.Range(m.cfg.Table, int(inst))
 	localZipf := m.zipfs.get(localRows, m.cfg.ZipfS)
 	kind := m.kind()
 
-	ops := make([]engine.Op, 0, m.cfg.RowsPerTxn)
-	seen := make(map[int64]bool, m.cfg.RowsPerTxn)
+	ops := st.ops[:0]
+	seen := st.seen
+	clear(seen)
 	add := func(key int64) {
 		seen[key] = true
 		ops = append(ops, engine.Op{Table: m.cfg.Table, Key: key, Kind: kind})
@@ -109,5 +128,6 @@ func (m *Micro) Next(inst engine.InstanceID, worker int) engine.Request {
 			draw(func() int64 { return base + localZipf.Sample(rng) })
 		}
 	}
+	st.ops = ops // keep the (possibly regrown) buffer for the next request
 	return engine.Request{Ops: ops}
 }

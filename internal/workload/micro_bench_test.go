@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"testing"
+
+	"islands/internal/storage"
+)
+
+func benchMicro() *Micro {
+	part := fakePart{n: 4, rows: map[storage.TableID]int64{1: 240000}}
+	return NewMicro(MicroConfig{
+		Table: 1, GlobalRows: 240000, RowsPerTxn: 10,
+		Write: true, PctMultisite: 0.5, Seed: 9,
+	}, part)
+}
+
+// BenchmarkMicroNext guards the generator's steady-state allocation rate:
+// per-stream scratch (ops slice, dedup map) is reused across requests, so
+// after the first call a stream allocates nothing.
+func BenchmarkMicroNext(b *testing.B) {
+	m := benchMicro()
+	m.Next(0, 0) // materialize the stream
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Next(0, 0)
+	}
+}
+
+func TestMicroNextSteadyStateAllocFree(t *testing.T) {
+	m := benchMicro()
+	for i := 0; i < 16; i++ {
+		m.Next(0, 0) // warm the stream's scratch
+	}
+	if allocs := testing.AllocsPerRun(200, func() { m.Next(0, 0) }); allocs > 0 {
+		t.Errorf("Micro.Next allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+}
+
+// BenchmarkMixNext tracks the full-mix generator's cost; it shares the
+// per-stream scratch scheme with Micro.
+func BenchmarkMixNext(b *testing.B) {
+	cfg := MixConfig{
+		Warehouses: 8, Weights: StandardMix(),
+		RemotePct: 0.15, RemoteItemPct: 0.01,
+		Sizing: SpecSizing().Scaled(10), Seed: 9,
+	}
+	g := NewMix(cfg, mixPart(4, cfg.Warehouses, cfg.Weights, cfg.Sizing))
+	g.Next(0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Next(0, 0)
+	}
+}

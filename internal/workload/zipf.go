@@ -1,7 +1,9 @@
 // Package workload generates the paper's benchmark inputs: the read/update
 // N-row microbenchmarks with controlled multisite fraction and Zipfian skew
-// (Sections 5.2, 7.1, 7.3), and a TPC-C subset with the Payment transaction
-// (Figures 3 and 7). All generators are deterministic given a seed.
+// (Sections 5.2, 7.1, 7.3), and the TPC-C transaction mix — NewOrder,
+// Payment, OrderStatus, Delivery, StockLevel over the nine-table schema,
+// partitioned by warehouse (Figures 3, 7, and the paper's TPC-C charts).
+// All generators are deterministic given a seed.
 package workload
 
 import (

@@ -12,8 +12,10 @@
 //   - deployments: Config/NewDeployment build N range-partitioned engine
 //     instances placed as islands (or deliberately spread), Run measures
 //     throughput and breakdowns over simulated time;
-//   - workloads: the paper's microbenchmarks (NewMicroWorkload) and TPC-C
-//     Payment (NewPaymentWorkload);
+//   - workloads: the paper's microbenchmarks (NewMicroWorkload) and the
+//     TPC-C transaction mix (NewTPCCWorkload for the full five-transaction
+//     standard mix, NewPaymentWorkload for the historical Payment-only
+//     stream);
 //   - the advisor: Advise picks the island size for a workload, answering
 //     the paper's future-work question;
 //   - experiments: Experiments/RunExperiment regenerate every table and
@@ -133,22 +135,59 @@ func NewMicroWorkload(cfg MicroConfig, d *Deployment) RequestSource {
 	return workload.NewMicro(cfg, d.Part)
 }
 
-// TPCCConfig parameterizes the TPC-C Payment generator.
+// TPCCConfig parameterizes the historical TPC-C Payment-only generator.
 type TPCCConfig = workload.TPCCConfig
 
-// TPCCTables returns the table declarations for w warehouses, ready for
-// Config.Tables.
+// TPCCMixConfig parameterizes the full TPC-C transaction-mix generator:
+// weights over the five transactions, remote-customer and remote-stock
+// probabilities, and table sizing.
+type TPCCMixConfig = workload.MixConfig
+
+// TPCCMixWeights are relative frequencies of the five TPC-C transactions.
+type TPCCMixWeights = workload.MixWeights
+
+// TPCCSizing scales the TPC-C table cardinalities (zero value = spec).
+type TPCCSizing = workload.Sizing
+
+// Transaction-mix constructors.
+var (
+	// StandardMix is the specification mix: 45% NewOrder, 43% Payment, 4%
+	// each of OrderStatus, Delivery, StockLevel.
+	StandardMix = workload.StandardMix
+	// PaymentOnlyMix is the historical single-transaction mix.
+	PaymentOnlyMix = workload.PaymentOnly
+	// SpecTPCCSizing returns the specification table cardinalities.
+	SpecTPCCSizing = workload.SpecSizing
+)
+
+// TPCCTables returns the historical Payment-only table declarations for w
+// warehouses, ready for Config.Tables.
 func TPCCTables(w int) []TableDecl {
+	return TPCCMixTables(w, workload.PaymentOnly(), workload.SpecSizing())
+}
+
+// TPCCMixTables returns the table declarations a transaction mix needs for
+// w warehouses: the union of the active transactions' tables, Payment-only
+// being exactly the historical four.
+func TPCCMixTables(w int, weights TPCCMixWeights, sizing TPCCSizing) []TableDecl {
 	var out []TableDecl
-	for _, t := range workload.TPCCTableSet(w) {
+	for _, t := range workload.MixTableSet(w, weights, sizing) {
 		out = append(out, TableDecl{ID: t.ID, Name: t.Name, RowBytes: t.RowBytes, Rows: t.Rows})
 	}
 	return out
 }
 
-// NewPaymentWorkload builds the TPC-C Payment request source.
+// NewPaymentWorkload builds the historical TPC-C Payment request source
+// (bit-identical to the pre-mix generator's stream).
 func NewPaymentWorkload(cfg TPCCConfig, d *Deployment) RequestSource {
 	return workload.NewPayment(cfg, d.Part)
+}
+
+// NewTPCCWorkload builds the TPC-C transaction-mix request source. Declare
+// the deployment's tables with TPCCMixTables using the same weights and
+// sizing.
+func NewTPCCWorkload(cfg TPCCMixConfig, d *Deployment) RequestSource {
+	return workload.NewMix(cfg, d.Part)
 }
 
 // Advice is the advisor's ranked recommendation.
@@ -179,14 +218,16 @@ type Experiment = harness.Experiment
 // ExperimentOptions tune experiment runs. Experiments are declarative cell
 // plans executed on a worker pool: Parallel sets the number of
 // concurrently-run cells (0 = GOMAXPROCS, 1 = sequential; results are
-// identical at any setting), and Progress optionally observes per-cell
-// completion.
+// identical at any setting), Progress optionally observes per-cell
+// completion, and CellTime optionally receives each cell's measured
+// wall-clock.
 type ExperimentOptions = harness.Options
 
 // ExperimentResult is an experiment's formatted output.
 type ExperimentResult = harness.Result
 
-// Experiments returns every registered reproduction (fig2..fig14, table1).
+// Experiments returns every registered reproduction (fig2..fig14, table1,
+// and the full TPC-C mix experiment "tpcc").
 func Experiments() []Experiment { return harness.All() }
 
 // RunExperiment runs the experiment with the given id ("fig9", "table1",

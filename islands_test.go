@@ -71,6 +71,37 @@ func TestPublicAPITPCCPayment(t *testing.T) {
 	}
 }
 
+func TestPublicAPITPCCFullMix(t *testing.T) {
+	machine := islands.QuadSocket()
+	mix := islands.StandardMix()
+	sizing := islands.SpecTPCCSizing().Scaled(20)
+	cfg := islands.Config{
+		Machine:   machine,
+		Instances: 4,
+		Placement: islands.PlacementIslands,
+		Mechanism: islands.UnixSocket,
+		Tables:    islands.TPCCMixTables(8, mix, sizing),
+		Wal:       islands.DefaultWalOptions(),
+	}
+	if len(cfg.Tables) != 9 {
+		t.Fatalf("full mix declares %d tables, want 9", len(cfg.Tables))
+	}
+	d := islands.NewDeployment(cfg)
+	defer d.Close()
+	d.Start(islands.NewTPCCWorkload(islands.TPCCMixConfig{
+		Warehouses: 8, Weights: mix,
+		RemotePct: 0.15, RemoteItemPct: 0.01,
+		Sizing: sizing, Seed: 3,
+	}, d))
+	m := d.Run(500*islands.Microsecond, 4*islands.Millisecond)
+	if m.Committed == 0 {
+		t.Fatal("no mix transactions committed")
+	}
+	if m.Multisite == 0 {
+		t.Error("remote payments/stock should produce multisite transactions")
+	}
+}
+
 func TestPublicAPICustomRequestSource(t *testing.T) {
 	machine := islands.QuadSocket()
 	cfg := islands.DefaultConfig(machine, 2, 2400)
