@@ -23,9 +23,9 @@ var benchOpts = islands.ExperimentOptions{Quick: true, Seed: 42}
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		res, ok := islands.RunExperiment(id, benchOpts)
-		if !ok {
-			b.Fatalf("unknown experiment %s", id)
+		res, err := islands.RunExperiment(id, benchOpts)
+		if err != nil {
+			b.Fatal(err)
 		}
 		if i == 0 {
 			reportHeadline(b, res)

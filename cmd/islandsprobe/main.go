@@ -11,13 +11,24 @@
 //
 // Usage:
 //
-//	islandsprobe [-seed N] [-experiments] [-full] [-parallel N] [-progress] [-celltimes]
+//	islandsprobe -list
+//	islandsprobe [-seed N] [-experiments | -only fig2,fig9,...] [-full]
+//	             [-seeds N] [-geometry S:C:LLC,...]
+//	             [-parallel N] [-progress] [-celltimes]
+//
+// -seeds N replicates every cell of the selected experiments over N seeds
+// through the study API's Seeds wrapper, doubling each table's columns
+// with ±σ (stddev over the replicas). -geometry runs an ad-hoc
+// machine-geometry sweep (sockets:coresPerSocket:LLC-MB per machine) built
+// entirely on the public study builders.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"islands"
@@ -26,15 +37,69 @@ import (
 func main() {
 	seed := flag.Int64("seed", 42, "workload and placement seed")
 	experiments := flag.Bool("experiments", false, "also fingerprint every quick-mode experiment (slow)")
+	only := flag.String("only", "", "comma-separated experiment ids to fingerprint (implies -experiments)")
+	list := flag.Bool("list", false, "print id, ref and title of every registered experiment and exit")
 	full := flag.Bool("full", false, "fingerprint the full-mode sweeps instead of quick mode (very slow; implies -experiments)")
+	seeds := flag.Int("seeds", 1, "replicate every study cell over N seeds and add mean ±σ columns (implies -experiments unless -geometry is given)")
+	geometry := flag.String("geometry", "", "comma-separated machine geometries sockets:cores:LLC-MB (e.g. 16:4:12,8:10:30) to sweep ad hoc")
 	parallel := flag.Int("parallel", 0, "concurrently-run experiment cells (0 = GOMAXPROCS, 1 = sequential)")
 	progress := flag.Bool("progress", false, "report per-cell experiment progress on stderr")
 	celltimes := flag.Bool("celltimes", false, "report per-cell wall-clock on stderr (the accounting behind cell cost hints)")
 	flag.Parse()
 
+	if *list {
+		for _, e := range islands.Experiments() {
+			fmt.Printf("%-8s %-12s %s\n", e.ID, e.Ref, e.Title)
+		}
+		return
+	}
+	if *seeds < 1 {
+		fmt.Fprintln(os.Stderr, "islandsprobe: -seeds must be >= 1")
+		os.Exit(2)
+	}
+	// Validate -geometry and -only before any simulation runs: a malformed
+	// flag must not leave partial fingerprint output on stdout.
+	var geos []islands.Geometry
+	if *geometry != "" {
+		var err error
+		geos, err = parseGeometries(*geometry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "islandsprobe: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	var selected map[string]bool
+	if *only != "" {
+		var err error
+		selected, err = parseOnly(*only)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "islandsprobe: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	opt := islands.ExperimentOptions{Quick: !*full, Seed: *seed, Parallel: *parallel}
+	if *progress {
+		opt.Progress = func(exp, cell string, done, total int) {
+			fmt.Fprintf(os.Stderr, "%s: %d/%d cells (%s)\n", exp, done, total, cell)
+		}
+	}
+	if *celltimes {
+		opt.CellTime = func(exp, cell string, elapsed time.Duration) {
+			fmt.Fprintf(os.Stderr, "celltime %s %.3fs\n", cell, elapsed.Seconds())
+		}
+	}
+
 	probeDeployments(*seed)
-	if *experiments || *full {
-		probeExperiments(*seed, *full, *parallel, *progress, *celltimes)
+	if geos != nil {
+		runStudy(geometryStudy(geos), *seeds, opt)
+	}
+	// Asking for seed replication without naming any study means "all
+	// experiments": -seeds alone must never be silently ignored. When
+	// -geometry already consumed it, though, don't drag every registered
+	// experiment into what the user scoped to a machine sweep.
+	if *experiments || *full || selected != nil || (*seeds > 1 && geos == nil) {
+		probeExperiments(selected, *seeds, opt)
 	}
 }
 
@@ -70,32 +135,122 @@ func probeDeployments(seed int64) {
 	}
 }
 
-// probeExperiments prints every cell of every experiment table at full float
-// precision. Progress and cell times (when requested) go to stderr so the
-// fingerprint on stdout stays byte-comparable.
-func probeExperiments(seed int64, full bool, parallel int, progress, celltimes bool) {
-	opt := islands.ExperimentOptions{Quick: !full, Seed: seed, Parallel: parallel}
-	if progress {
-		opt.Progress = func(exp, cell string, done, total int) {
-			fmt.Fprintf(os.Stderr, "%s: %d/%d cells (%s)\n", exp, done, total, cell)
-		}
+// parseOnly validates a comma-separated -only list against the registry;
+// it returns a non-empty id set or an error.
+func parseOnly(s string) (map[string]bool, error) {
+	known := map[string]bool{}
+	for _, id := range islands.ExperimentIDs() {
+		known[id] = true
 	}
-	if celltimes {
-		opt.CellTime = func(exp, cell string, elapsed time.Duration) {
-			fmt.Fprintf(os.Stderr, "celltime %s %.3fs\n", cell, elapsed.Seconds())
+	selected := map[string]bool{}
+	for _, id := range strings.Split(s, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
 		}
+		if !known[id] {
+			return nil, fmt.Errorf("unknown experiment %q (valid ids: %s)",
+				id, strings.Join(islands.ExperimentIDs(), ", "))
+		}
+		selected[id] = true
 	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("no experiment ids in %q", s)
+	}
+	return selected, nil
+}
+
+// probeExperiments prints every cell of every selected experiment table at
+// full float precision (every registered experiment when selected is nil).
+// Progress and cell times (when requested) go to stderr so the fingerprint
+// on stdout stays byte-comparable.
+func probeExperiments(selected map[string]bool, seeds int, opt islands.ExperimentOptions) {
 	for _, e := range islands.Experiments() {
-		res, ok := islands.RunExperiment(e.ID, opt)
-		if !ok {
-			panic("probe: unknown experiment " + e.ID)
+		if selected != nil && !selected[e.ID] {
+			continue
 		}
-		for _, t := range res.Tables {
-			for i, row := range t.Rows {
-				for j, col := range t.Cols {
-					fmt.Printf("%s/%s/%s/%s = %.9g\n", e.ID, t.Name, row, col, t.Values[i][j])
-				}
-			}
-		}
+		runStudy(e.Study(opt), seeds, opt)
 	}
+}
+
+// runStudy executes a study (seed-replicated when seeds > 1) and prints its
+// fingerprint lines on stdout.
+func runStudy(st *islands.Study, seeds int, opt islands.ExperimentOptions) {
+	if seeds > 1 {
+		st = st.Seeds(seeds)
+	}
+	st.Run(opt).Fingerprint(os.Stdout)
+}
+
+// geometryStudy builds the ad-hoc machine sweep for -geometry out of the
+// public study builders: the paper's read-10 microbenchmark at 20%
+// multisite, fine-grained / per-socket islands / shared-everything per
+// hypothetical machine.
+func geometryStudy(geos []islands.Geometry) *islands.Study {
+	configs := []string{"FG", "CG", "SE"}
+	rows := make([]string, len(geos))
+	for i, g := range geos {
+		rows[i] = g.Label()
+	}
+	st := &islands.Study{
+		ID:    "geometry",
+		Title: "ad-hoc machine-geometry sweep (read-10, 20% multisite)",
+		Ref:   "study API",
+		Notes: []string{"FG = one instance per core, CG = one per socket, SE = shared-everything"},
+		Tables: []*islands.Table{
+			islands.NewTable("geometry sweep", "KTps", "machine", rows, "config", configs),
+		},
+	}
+	machines := islands.Machines(geos...)
+	st.Cells = islands.Grid(func(idx []int) islands.Cell {
+		g := geos[idx[0]]
+		instances := 1
+		switch configs[idx[1]] {
+		case "FG":
+			instances = g.Sockets * g.CoresPerSocket
+		case "CG":
+			instances = g.Sockets
+		}
+		return islands.MicroCell(
+			fmt.Sprintf("geometry/%s/%s", g.Label(), configs[idx[1]]),
+			islands.MicroCellSpec{
+				Machine:   machines[idx[0]],
+				Instances: instances,
+				Rows:      240000,
+				MC:        islands.MicroConfig{RowsPerTxn: 10, PctMultisite: 0.2},
+			},
+			islands.TPSEmit(0, idx[0], idx[1]))
+	}, len(geos), len(configs))
+	return st
+}
+
+// parseGeometries parses "sockets:coresPerSocket:LLC-MB" triples, e.g.
+// "16:4:12,8:10:30".
+func parseGeometries(s string) ([]islands.Geometry, error) {
+	var out []islands.Geometry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f := strings.Split(part, ":")
+		if len(f) != 3 {
+			return nil, fmt.Errorf("geometry %q: want sockets:coresPerSocket:LLC-MB", part)
+		}
+		sockets, err1 := strconv.Atoi(f[0])
+		cores, err2 := strconv.Atoi(f[1])
+		llcMB, err3 := strconv.Atoi(f[2])
+		if err1 != nil || err2 != nil || err3 != nil || sockets <= 0 || cores <= 0 || llcMB <= 0 {
+			return nil, fmt.Errorf("geometry %q: want three positive integers sockets:coresPerSocket:LLC-MB", part)
+		}
+		out = append(out, islands.Geometry{
+			Sockets:        sockets,
+			CoresPerSocket: cores,
+			LLCBytes:       int64(llcMB) << 20,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no geometries in %q", s)
+	}
+	return out, nil
 }

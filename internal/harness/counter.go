@@ -67,7 +67,7 @@ func counterBench(m *topology.Machine, n int, counters int,
 
 // fig2 compares spread / grouped / OS thread placement for the per-socket
 // counter setup on the octo-socket machine (80 threads, 8 counters).
-func planFig2(opt Options) *Plan {
+func studyFig2(opt Options) *Study {
 	iters := 3000
 	seeds := 5
 	if opt.Quick {
@@ -77,20 +77,20 @@ func planFig2(opt Options) *Plan {
 
 	tab := NewTable("counter throughput", "million increments/s",
 		"placement", []string{"spread", "grouped", "os"}, "", []string{"mean", "stddev"})
-	p := &Plan{Result: &Result{
+	p := &Study{
 		ID: "fig2", Title: "Counter increments by thread placement", Ref: "Figure 2",
 		Notes: []string{
 			"grouped > os > spread, as in the paper; os varies across seeds",
 		},
 		Tables: []*Table{tab},
-	}}
+	}
 
 	// fig2Cell builds one placement cell: place derives the thread->core
 	// assignment from the cell's own freshly-built machine (and the cell's
 	// seed-adjusted options), so cells close over nothing shared. One
 	// counter per socket; thread t belongs to counter t/perGroup.
 	fig2Cell := func(name string, place func(m *topology.Machine, perGroup int, o Options) func(t int) topology.CoreID) Cell {
-		return scalarCell(name, func(o Options) float64 {
+		return ScalarCell(name, func(o Options) float64 {
 			m := topology.OctoSocket()
 			n, perGroup := m.NumCores(), m.NumCores()/m.SocketCount
 			counterOf := func(t int) int { return t / perGroup }
@@ -106,7 +106,7 @@ func planFig2(opt Options) *Plan {
 			return topology.CoreID(s*m.CoresPerSocket + idx)
 		}
 	})
-	spread.Emits = []Emit{valueEmit(0, 0, 0)}
+	spread.Emits = []Emit{ValueEmit(0, 0, 0)}
 	// Grouped: group g's threads all run on socket g (where its counter is).
 	grouped := fig2Cell("fig2/grouped", func(m *topology.Machine, perGroup int, _ Options) func(int) topology.CoreID {
 		return func(t int) topology.CoreID {
@@ -114,7 +114,7 @@ func planFig2(opt Options) *Plan {
 			return topology.CoreID(g*m.CoresPerSocket + t%perGroup)
 		}
 	})
-	grouped.Emits = []Emit{valueEmit(0, 1, 0)}
+	grouped.Emits = []Emit{ValueEmit(0, 1, 0)}
 	p.Cells = append(p.Cells, spread, grouped)
 
 	// OS: the scheduler keeps some threads near the memory they touch (they
@@ -153,7 +153,7 @@ func planFig2(opt Options) *Plan {
 
 // table1 scales the counter setup: one global counter, one per socket, one
 // per core (Table 1 of the paper: 18.5x and 516.8x speedups).
-func planTable1(opt Options) *Plan {
+func studyTable1(opt Options) *Study {
 	iters := 3000
 	if opt.Quick {
 		iters = 500
@@ -162,13 +162,13 @@ func planTable1(opt Options) *Plan {
 	tab := NewTable("counter scaling", "", "setup",
 		[]string{"single", "per-socket", "per-core"}, "",
 		[]string{"counters", "Mops/s", "speedup"})
-	p := &Plan{Result: &Result{
+	p := &Study{
 		ID: "table1", Title: "Counter throughput when increasing counters", Ref: "Table 1",
 		Notes: []string{
 			"paper reports 18.5x (per-socket) and 516.8x (per-core) over a single counter",
 		},
 		Tables: []*Table{tab},
-	}}
+	}
 	// The counter-count column is structural, not measured.
 	geom := topology.OctoSocket()
 	tab.Set(0, 0, 1)
@@ -186,13 +186,13 @@ func planTable1(opt Options) *Plan {
 		}
 	}
 	p.Cells = append(p.Cells,
-		scalarCell("table1/single", bench(
+		ScalarCell("table1/single", bench(
 			func(*topology.Machine) int { return 1 },
 			func(*topology.Machine, int) int { return 0 })),
-		scalarCell("table1/per-socket", bench(
+		ScalarCell("table1/per-socket", bench(
 			func(m *topology.Machine) int { return m.SocketCount },
 			func(m *topology.Machine, t int) int { return int(m.SocketOf(topology.CoreID(t))) })),
-		scalarCell("table1/per-core", bench(
+		ScalarCell("table1/per-core", bench(
 			func(m *topology.Machine) int { return m.NumCores() },
 			func(m *topology.Machine, t int) int { return t })),
 	)
@@ -225,6 +225,6 @@ func meanStd(xs []float64) (mean, std float64) {
 }
 
 func init() {
-	register(Experiment{ID: "fig2", Title: "Counter increments by thread placement", Ref: "Figure 2", Plan: planFig2})
-	register(Experiment{ID: "table1", Title: "Counter scaling: single/per-socket/per-core", Ref: "Table 1", Plan: planTable1})
+	register(Experiment{ID: "fig2", Title: "Counter increments by thread placement", Ref: "Figure 2", Study: studyFig2})
+	register(Experiment{ID: "table1", Title: "Counter scaling: single/per-socket/per-core", Ref: "Table 1", Study: studyTable1})
 }

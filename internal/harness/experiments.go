@@ -85,7 +85,7 @@ func runTPCC(m *topology.Machine, s TPCCSpec, opt Options,
 // the 20-30% placement gap must be measured above the noise. Enough
 // warehouses that warehouse-row contention (which is placement-independent)
 // does not mask the topology effect.
-func planFig3(opt Options) *Plan {
+func studyFig3(opt Options) *Study {
 	seeds := 5
 	if opt.Quick {
 		seeds = 3
@@ -94,13 +94,13 @@ func planFig3(opt Options) *Plan {
 
 	tab := NewTable("Payment throughput by placement", "KTps",
 		"placement", []string{"spread", "group", "mix", "os"}, "", []string{"mean", "stddev"})
-	p := &Plan{Result: &Result{
+	p := &Study{
 		ID: "fig3", Title: "TPC-C Payment by thread placement (4 workers)", Ref: "Figure 3",
 		Notes: []string{
 			"paper: grouping all threads on one socket is 20-30% faster than spread/mix/OS",
 		},
 		Tables: []*Table{tab},
-	}}
+	}
 
 	fixed := []struct {
 		name  string
@@ -111,18 +111,18 @@ func planFig3(opt Options) *Plan {
 		{"mix", func(m *topology.Machine) []topology.CoreID { return topology.MixPlacement(m, 4, 2).Cores }},
 	}
 	for i, pl := range fixed {
-		p.Cells = append(p.Cells, tpccCell("fig3/"+pl.name, TPCCSpec{
+		p.Cells = append(p.Cells, TPCCCell("fig3/"+pl.name, TPCCSpec{
 			Machine: topology.QuadSocket, Instances: 1, Warehouses: fig3Warehouses,
 			Mix: workload.PaymentOnly(), RemotePct: 0.15, ForceFull: true,
 			Placement: func(m *topology.Machine, _ Options) [][]topology.CoreID {
 				return [][]topology.CoreID{pl.cores(m)}
 			},
-		}, tpsEmit(0, i, 0)))
+		}, TPSEmit(0, i, 0)))
 	}
 
 	osStart := len(p.Cells)
 	for s := 0; s < seeds; s++ {
-		p.Cells = append(p.Cells, tpccCell(fmt.Sprintf("fig3/os/seed%d", s), TPCCSpec{
+		p.Cells = append(p.Cells, TPCCCell(fmt.Sprintf("fig3/os/seed%d", s), TPCCSpec{
 			Machine: topology.QuadSocket, Instances: 1, Warehouses: fig3Warehouses,
 			Mix: workload.PaymentOnly(), RemotePct: 0.15, ForceFull: true, SeedDelta: int64(s) * 104729,
 			Placement: func(m *topology.Machine, o Options) [][]topology.CoreID {
@@ -143,7 +143,7 @@ func planFig3(opt Options) *Plan {
 }
 
 // fig6: message throughput of IPC mechanisms, same vs different socket.
-func planFig6(opt Options) *Plan {
+func studyFig6(opt Options) *Study {
 	rounds := 2000
 	if opt.Quick {
 		rounds = 300
@@ -155,22 +155,22 @@ func planFig6(opt Options) *Plan {
 	}
 	tab := NewTable("message throughput", "Kmsgs/s",
 		"mechanism", rows, "endpoint sockets", []string{"same", "different"})
-	p := &Plan{Result: &Result{
+	p := &Study{
 		ID: "fig6", Title: "IPC mechanism throughput", Ref: "Figure 6",
 		Notes:  []string{"unix domain sockets are the fastest; cross-socket is always slower"},
 		Tables: []*Table{tab},
-	}}
+	}
 	peers := []struct {
 		name string
 		core topology.CoreID
 	}{{"same", 1}, {"different", 23}}
 	for i, mech := range mechs {
 		for j, peer := range peers {
-			p.Cells = append(p.Cells, scalarCell(
+			p.Cells = append(p.Cells, ScalarCell(
 				fmt.Sprintf("fig6/%s/%s", mech, peer.name),
 				func(Options) float64 {
 					return pingPongRate(topology.QuadSocket(), mech, 0, peer.core, rounds) / 1e3
-				}, valueEmit(0, i, j)))
+				}, ValueEmit(0, i, j)))
 		}
 	}
 	return p
@@ -203,19 +203,19 @@ func pingPongRate(m *topology.Machine, mech ipc.Mechanism, a, b topology.CoreID,
 
 // fig7: TPC-C Payment, perfectly partitionable (all local): fine-grained
 // shared-nothing vs shared-everything.
-func planFig7(Options) *Plan {
+func studyFig7(Options) *Study {
 	tab := NewTable("Payment throughput, local only", "KTps",
 		"config", []string{"24ISL (fine-grained SN)", "1ISL (shared-everything)"}, "", []string{"KTps", "vs SE"})
-	p := &Plan{Result: &Result{
+	p := &Study{
 		ID: "fig7", Title: "TPC-C Payment, perfectly partitionable", Ref: "Figure 7",
 		Notes:  []string{"paper: fine-grained shared-nothing is ~4.5x shared-everything"},
 		Tables: []*Table{tab},
-	}}
+	}
 	for i, instances := range []int{24, 1} {
-		p.Cells = append(p.Cells, tpccCell(fmt.Sprintf("fig7/%dISL", instances), TPCCSpec{
+		p.Cells = append(p.Cells, TPCCCell(fmt.Sprintf("fig7/%dISL", instances), TPCCSpec{
 			Machine: topology.QuadSocket, Instances: instances, Warehouses: 24,
 			Mix: workload.PaymentOnly(), LocalOnly: true,
-		}, tpsEmit(0, i, 0)))
+		}, TPSEmit(0, i, 0)))
 	}
 	p.Finalize = func(res *Result, metrics []Metrics) {
 		fg, se := metrics[0].M.ThroughputTPS, metrics[1].M.ThroughputTPS
@@ -227,7 +227,7 @@ func planFig7(Options) *Plan {
 
 // fig8: microarchitectural profile of the read-only local microbenchmark
 // across instance sizes: IPC, stalled cycles, LLC sharing.
-func planFig8(opt Options) *Plan {
+func studyFig8(opt Options) *Study {
 	configs := []int{24, 12, 8, 4, 2, 1}
 	if opt.Quick {
 		configs = []int{24, 4, 1}
@@ -238,15 +238,15 @@ func planFig8(opt Options) *Plan {
 	}
 	tab := NewTable("microarchitectural profile", "",
 		"config", rows, "", []string{"IPC", "stalled %", "LLC sharing %"})
-	p := &Plan{Result: &Result{
+	p := &Study{
 		ID: "fig8", Title: "Microarchitectural data per deployment", Ref: "Figure 8",
 		Notes: []string{
 			"paper: IPC is much higher for smaller instances; instances spanning sockets stall more",
 		},
 		Tables: []*Table{tab},
-	}}
+	}
 	for i, n := range configs {
-		p.Cells = append(p.Cells, microCell(fmt.Sprintf("fig8/%dISL", n), MicroSpec{
+		p.Cells = append(p.Cells, MicroCell(fmt.Sprintf("fig8/%dISL", n), MicroSpec{
 			Machine: topology.QuadSocket, Instances: n, Rows: stdRows,
 			MC: workload.MicroConfig{RowsPerTxn: 10}, LocalOnly: true,
 		},
@@ -258,8 +258,8 @@ func planFig8(opt Options) *Plan {
 }
 
 func init() {
-	register(Experiment{ID: "fig3", Title: "TPC-C Payment by thread placement", Ref: "Figure 3", Plan: planFig3})
-	register(Experiment{ID: "fig6", Title: "IPC mechanism throughput", Ref: "Figure 6", Plan: planFig6})
-	register(Experiment{ID: "fig7", Title: "TPC-C Payment, perfectly partitionable", Ref: "Figure 7", Plan: planFig7})
-	register(Experiment{ID: "fig8", Title: "Microarchitectural profile", Ref: "Figure 8", Plan: planFig8})
+	register(Experiment{ID: "fig3", Title: "TPC-C Payment by thread placement", Ref: "Figure 3", Study: studyFig3})
+	register(Experiment{ID: "fig6", Title: "IPC mechanism throughput", Ref: "Figure 6", Study: studyFig6})
+	register(Experiment{ID: "fig7", Title: "TPC-C Payment, perfectly partitionable", Ref: "Figure 7", Study: studyFig7})
+	register(Experiment{ID: "fig8", Title: "Microarchitectural profile", Ref: "Figure 8", Study: studyFig8})
 }

@@ -62,15 +62,19 @@ type Result struct {
 	Tables []*Table
 }
 
-// Experiment is a registered reproduction.
+// Experiment is a registered reproduction: a thin index entry over the
+// Study the experiment is built from. Run is derived from Study by
+// register; callers that want to transform the study before running it
+// (seed replication, for example) call Study directly and Run the value
+// it returns.
 type Experiment struct {
 	ID    string
 	Title string
 	Ref   string
-	// Plan builds the experiment's declarative cell plan; grid sizes depend
+	// Study builds the experiment's declarative study; grid sizes depend
 	// on opt.Quick/opt.Short.
-	Plan func(opt Options) *Plan
-	// Run builds the plan and executes it; filled in by register.
+	Study func(opt Options) *Study
+	// Run builds the study and executes it; filled in by register.
 	Run func(opt Options) *Result
 }
 
@@ -84,11 +88,11 @@ func register(e Experiment) {
 		panic("harness: duplicate experiment id " + e.ID)
 	}
 	if e.Run == nil {
-		if e.Plan == nil {
-			panic("harness: experiment " + e.ID + " has neither Plan nor Run")
+		if e.Study == nil {
+			panic("harness: experiment " + e.ID + " has neither Study nor Run")
 		}
-		plan := e.Plan
-		e.Run = func(opt Options) *Result { return plan(opt).Execute(opt) }
+		study := e.Study
+		e.Run = func(opt Options) *Result { return study(opt).Run(opt) }
 	}
 	byID[e.ID] = len(registry)
 	registry = append(registry, e)
@@ -108,6 +112,16 @@ func Get(id string) (Experiment, bool) {
 		return Experiment{}, false
 	}
 	return registry[i], true
+}
+
+// Run runs the experiment with the given id. Unknown ids return an error
+// naming every valid id.
+func Run(id string, opt Options) (*Result, error) {
+	e, ok := Get(id)
+	if !ok {
+		return nil, fmt.Errorf("unknown experiment %q (valid ids: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return e.Run(opt), nil
 }
 
 // IDs returns all experiment ids, sorted.

@@ -55,14 +55,14 @@ func equalResults(a, b *Result) error {
 // are uniquely named, and every emit lands inside its table.
 func TestPlanShapes(t *testing.T) {
 	for _, e := range All() {
-		if e.Plan == nil {
-			t.Errorf("%s: no plan builder", e.ID)
+		if e.Study == nil {
+			t.Errorf("%s: no study builder", e.ID)
 			continue
 		}
 		for _, opt := range []Options{{Quick: true}, {Quick: true, Short: true}} {
-			p := e.Plan(opt)
-			if p.Result.ID != e.ID {
-				t.Errorf("%s: plan result id %q", e.ID, p.Result.ID)
+			p := e.Study(opt)
+			if p.ID != e.ID {
+				t.Errorf("%s: study id %q", e.ID, p.ID)
 			}
 			if len(p.Cells) == 0 {
 				t.Errorf("%s: plan has no cells", e.ID)
@@ -77,11 +77,11 @@ func TestPlanShapes(t *testing.T) {
 				}
 				names[c.Name] = true
 				for _, em := range c.Emits {
-					if em.Table < 0 || em.Table >= len(p.Result.Tables) {
+					if em.Table < 0 || em.Table >= len(p.Tables) {
 						t.Errorf("%s/%s: emit table %d out of range", e.ID, c.Name, em.Table)
 						continue
 					}
-					tab := p.Result.Tables[em.Table]
+					tab := p.Tables[em.Table]
 					if em.Row < 0 || em.Row >= len(tab.Rows) || em.Col < 0 || em.Col >= len(tab.Cols) {
 						t.Errorf("%s/%s: emit (%d,%d) outside table %q", e.ID, c.Name, em.Row, em.Col, tab.Name)
 					}
@@ -123,7 +123,7 @@ func TestFig14DiskBoundCellsHinted(t *testing.T) {
 	if !ok {
 		t.Fatal("fig14 not registered")
 	}
-	p := e.Plan(Options{Quick: true})
+	p := e.Study(Options{Quick: true})
 	hinted := 0
 	for _, c := range p.Cells {
 		if c.CostHint > 0 {
@@ -151,7 +151,7 @@ func TestExecutorCellTime(t *testing.T) {
 	}
 	for _, workers := range []int{1, 3} {
 		opt := Options{Quick: true, Short: testing.Short(), Seed: 5, Parallel: workers}
-		total := len(e.Plan(opt).Cells)
+		total := len(e.Study(opt).Cells)
 		seen := map[string]time.Duration{}
 		opt.CellTime = func(exp, cell string, elapsed time.Duration) {
 			if exp != "fig6" {
@@ -183,7 +183,7 @@ func TestExecutorProgress(t *testing.T) {
 	}
 	for _, workers := range []int{1, 3} {
 		opt := Options{Quick: true, Short: testing.Short(), Seed: 3, Parallel: workers}
-		total := len(e.Plan(opt).Cells)
+		total := len(e.Study(opt).Cells)
 		type tick struct {
 			exp, cell   string
 			done, total int

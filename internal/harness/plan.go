@@ -13,7 +13,9 @@ import (
 // workload generator and RNGs from the cell spec and the run's seed — and
 // carries the table coordinates its metrics land in. Because cells share
 // no mutable state, the executor (executor.go) may run them in any order,
-// or concurrently, and assemble an identical Result every time.
+// or concurrently, and assemble an identical Result every time. Studies
+// (study.go) are the declarative carrier users and experiments build;
+// Plan is the executor's private input, assembled fresh by Study.Run.
 
 // Metrics is what one cell's simulation produced. Deployment cells fill M;
 // cells that measure a scalar outside a deployment (the Section 3 counter
@@ -67,13 +69,13 @@ type Plan struct {
 	Finalize func(res *Result, metrics []Metrics)
 }
 
-// tpsEmit emits throughput in KTps — the most common table value.
-func tpsEmit(table, row, col int) Emit {
+// TPSEmit emits throughput in KTps — the most common table value.
+func TPSEmit(table, row, col int) Emit {
 	return Emit{table, row, col, func(x Metrics) float64 { return x.M.ThroughputTPS / 1e3 }}
 }
 
-// valueEmit emits the cell's scalar value verbatim.
-func valueEmit(table, row, col int) Emit {
+// ValueEmit emits the cell's scalar value verbatim.
+func ValueEmit(table, row, col int) Emit {
 	return Emit{table, row, col, func(x Metrics) float64 { return x.Value }}
 }
 
@@ -95,8 +97,8 @@ type MicroSpec struct {
 	Tweak func(*core.Config)
 }
 
-// microCell builds a standard microbenchmark cell from its spec.
-func microCell(name string, s MicroSpec, emits ...Emit) Cell {
+// MicroCell builds a standard microbenchmark cell from its spec.
+func MicroCell(name string, s MicroSpec, emits ...Emit) Cell {
 	return Cell{Name: name, Emits: emits, Run: func(opt Options) Metrics {
 		opt.Seed += s.SeedDelta
 		return Metrics{M: runMicro(s.Machine(), s.Instances, s.Rows, s.MC, s.LocalOnly, opt, s.Tweak)}
@@ -130,9 +132,9 @@ type TPCCSpec struct {
 	Placement func(m *topology.Machine, opt Options) [][]topology.CoreID
 }
 
-// tpccCell builds a TPC-C cell from its spec. ForceFull cells run the long
+// TPCCCell builds a TPC-C cell from its spec. ForceFull cells run the long
 // window even in quick mode, so they carry a cost hint for the scheduler.
-func tpccCell(name string, s TPCCSpec, emits ...Emit) Cell {
+func TPCCCell(name string, s TPCCSpec, emits ...Emit) Cell {
 	var hint float64
 	if s.ForceFull {
 		hint = 1
@@ -151,10 +153,10 @@ func tpccCell(name string, s TPCCSpec, emits ...Emit) Cell {
 	}}
 }
 
-// scalarCell builds a cell around a custom measurement returning one value
+// ScalarCell builds a cell around a custom measurement returning one value
 // (counter benchmarks, ping-pong rates). run must construct all state it
 // touches.
-func scalarCell(name string, run func(opt Options) float64, emits ...Emit) Cell {
+func ScalarCell(name string, run func(opt Options) float64, emits ...Emit) Cell {
 	return Cell{Name: name, Emits: emits, Run: func(opt Options) Metrics {
 		return Metrics{Value: run(opt)}
 	}}

@@ -12,14 +12,14 @@ import (
 // fig12: throughput as hardware parallelism grows, on both machines, for
 // fine-grained (per-core), coarse-grained (per-socket) and shared-everything
 // deployments at 20% multisite.
-func planFig12(opt Options) *Plan {
-	p := &Plan{Result: &Result{
+func studyFig12(opt Options) *Study {
+	p := &Study{
 		ID: "fig12", Title: "Scaling with active cores (20% multisite)", Ref: "Figure 12",
 		Notes: []string{
 			"paper: FG/CG scale linearly; SE scales sublinearly, worst on the octo-socket",
 			"QPI/IMC column reproduces the paper's NUMA-friendliness ratio at full core count",
 		},
-	}}
+	}
 	type machineCase struct {
 		machine func() *topology.Machine
 		steps   []int
@@ -44,7 +44,7 @@ func planFig12(opt Options) *Plan {
 				cols[j] = fmt.Sprintf("%d", s)
 			}
 			cols[len(mc.steps)] = "QPI/IMC"
-			p.Result.Tables = append(p.Result.Tables,
+			p.Tables = append(p.Tables,
 				NewTable(fmt.Sprintf("%s, %s", wk.kind, m.Name), "KTps",
 					"config", []string{"FG", "CG", "SE"}, "# cores", cols))
 			for i, cfgKind := range []string{"FG", "CG", "SE"} {
@@ -56,12 +56,12 @@ func planFig12(opt Options) *Plan {
 					case "CG":
 						instances = active / m.CoresPerSocket
 					}
-					emits := []Emit{tpsEmit(ti, i, j)}
+					emits := []Emit{TPSEmit(ti, i, j)}
 					if j == len(mc.steps)-1 {
 						emits = append(emits, Emit{ti, i, len(mc.steps),
 							func(x Metrics) float64 { return x.M.QPIPerIMC }})
 					}
-					p.Cells = append(p.Cells, microCell(
+					p.Cells = append(p.Cells, MicroCell(
 						fmt.Sprintf("fig12/%s/%s/%s/cores=%d", wk.kind, m.Name, cfgKind, active),
 						MicroSpec{
 							Machine: mc.machine, Instances: instances, Rows: stdRows,
@@ -78,7 +78,7 @@ func planFig12(opt Options) *Plan {
 
 // fig13: tolerance to skew: Zipfian row selection with varying skew factor,
 // at 0/20/50% multisite, reads and updates of 2 rows.
-func planFig13(opt Options) *Plan {
+func studyFig13(opt Options) *Study {
 	skews := []float64{0, 0.25, 0.5, 0.75, 1.0}
 	pcts := []float64{0, 0.2, 0.5}
 	if opt.Quick {
@@ -98,28 +98,28 @@ func planFig13(opt Options) *Plan {
 		cols[j] = fmt.Sprintf("s=%.2f", s)
 	}
 
-	p := &Plan{Result: &Result{
+	p := &Study{
 		ID: "fig13", Title: "Throughput under skewed access", Ref: "Figure 13",
 		Notes: []string{
 			"paper: skew collapses fine-grained SN (hot instance) and hurts SE under updates; coarse islands cope best",
 			"p=0% runs use the single-thread optimization, as the paper does for local-only workloads",
 		},
-	}}
+	}
 	ti := 0
 	for _, wk := range writeKinds {
 		for _, pct := range pcts {
-			p.Result.Tables = append(p.Result.Tables,
+			p.Tables = append(p.Tables,
 				NewTable(fmt.Sprintf("%s, %.0f%% multisite", wk.kind, pct*100), "KTps",
 					"config", rows, "skew", cols))
 			for i, n := range configs {
 				for j, s := range skews {
-					p.Cells = append(p.Cells, microCell(
+					p.Cells = append(p.Cells, MicroCell(
 						fmt.Sprintf("fig13/%s/p=%.0f%%/%dISL/s=%.2f", wk.kind, pct*100, n, s),
 						MicroSpec{
 							Machine: topology.QuadSocket, Instances: n, Rows: stdRows,
 							MC:        workload.MicroConfig{RowsPerTxn: 2, Write: wk.write, PctMultisite: pct, ZipfS: s},
 							LocalOnly: pct == 0,
-						}, tpsEmit(ti, i, j)))
+						}, TPSEmit(ti, i, j)))
 				}
 			}
 			ti++
@@ -132,7 +132,7 @@ func planFig13(opt Options) *Plan {
 // Scaled by 1/100 in rows and buffer pool (and 1/10 in LLC) to preserve the
 // dataset/LLC and dataset/buffer-pool crossovers at tractable sizes; column
 // labels keep the paper's units.
-func planFig14(opt Options) *Plan {
+func studyFig14(opt Options) *Study {
 	// Paper: 0.24M..120M rows, 12 GB buffer pool. Scaled: /100.
 	sizes := []int64{2400, 24000, 240000, 720000, 1200000}
 	labels := []string{"0.24M", "2.4M", "24M", "72M", "120M"}
@@ -162,17 +162,17 @@ func planFig14(opt Options) *Plan {
 		rows[i] = fmt.Sprintf("%dISL", n)
 	}
 
-	p := &Plan{Result: &Result{
+	p := &Study{
 		ID: "fig14", Title: "Throughput vs database size (2 rows/txn)", Ref: "Figure 14",
 		Notes: []string{
 			"rows and buffer pool scaled 1/100, LLC 1/10: crossovers preserved, labels in paper units",
 			"beyond the buffer pool (rightmost points) throughput collapses to disk speed",
 		},
-	}}
+	}
 	ti := 0
 	for _, wk := range writeKinds {
 		for _, pct := range []float64{0, 0.2} {
-			p.Result.Tables = append(p.Result.Tables,
+			p.Tables = append(p.Tables,
 				NewTable(fmt.Sprintf("%s, %.0f%% multisite", wk.kind, pct*100), "KTps",
 					"config", rows, "rows (paper scale)", labels))
 			for i, n := range configs {
@@ -190,7 +190,7 @@ func planFig14(opt Options) *Plan {
 						Run: func(o Options) Metrics {
 							return Metrics{M: runFig14Cell(scaledQuad(), n, size, wk.write, pct, bpPages, o)}
 						},
-						Emits: []Emit{tpsEmit(ti, i, j)},
+						Emits: []Emit{TPSEmit(ti, i, j)},
 					})
 				}
 			}
@@ -237,7 +237,7 @@ func runFig14Cell(machine *topology.Machine, n int, size int64, write bool, p fl
 }
 
 func init() {
-	register(Experiment{ID: "fig12", Title: "Scaling with active cores", Ref: "Figure 12", Plan: planFig12})
-	register(Experiment{ID: "fig13", Title: "Throughput under skewed access", Ref: "Figure 13", Plan: planFig13})
-	register(Experiment{ID: "fig14", Title: "Throughput vs database size", Ref: "Figure 14", Plan: planFig14})
+	register(Experiment{ID: "fig12", Title: "Scaling with active cores", Ref: "Figure 12", Study: studyFig12})
+	register(Experiment{ID: "fig13", Title: "Throughput under skewed access", Ref: "Figure 13", Study: studyFig13})
+	register(Experiment{ID: "fig14", Title: "Throughput vs database size", Ref: "Figure 14", Study: studyFig14})
 }

@@ -17,7 +17,7 @@ var writeKinds = []struct {
 
 // fig9: throughput as the percentage of multisite transactions grows, for
 // the read-10 and update-10 microbenchmarks over 24ISL / 4ISL / 1ISL.
-func planFig9(opt Options) *Plan {
+func studyFig9(opt Options) *Study {
 	pcts := []float64{0, 0.1, 0.2, 0.4, 0.6, 0.8, 1}
 	if opt.Quick {
 		pcts = []float64{0, 0.2, 1}
@@ -36,26 +36,26 @@ func planFig9(opt Options) *Plan {
 		rows[i] = fmt.Sprintf("%dISL", n)
 	}
 
-	p := &Plan{Result: &Result{
+	p := &Study{
 		ID: "fig9", Title: "Throughput vs fraction of multisite transactions", Ref: "Figure 9",
 		Notes: []string{
 			"paper: shared-everything stays flat; shared-nothing degrades, fine-grained most",
 			"locking stays on in all configurations: distributed transactions make it mandatory (Sec 7.1.2)",
 		},
-	}}
+	}
 	for ti, wk := range writeKinds {
 		name := "retrieving 10 rows"
 		if wk.write {
 			name = "updating 10 rows"
 		}
-		p.Result.Tables = append(p.Result.Tables, NewTable(name, "KTps", "config", rows, "% multisite", cols))
+		p.Tables = append(p.Tables, NewTable(name, "KTps", "config", rows, "% multisite", cols))
 		for i, n := range configs {
 			for j, pct := range pcts {
-				p.Cells = append(p.Cells, microCell(
+				p.Cells = append(p.Cells, MicroCell(
 					fmt.Sprintf("fig9/%s/%dISL/p=%.0f%%", wk.kind, n, pct*100), MicroSpec{
 						Machine: topology.QuadSocket, Instances: n, Rows: stdRows,
 						MC: workload.MicroConfig{RowsPerTxn: 10, Write: wk.write, PctMultisite: pct},
-					}, tpsEmit(ti, i, j)))
+					}, TPSEmit(ti, i, j)))
 			}
 		}
 	}
@@ -64,7 +64,7 @@ func planFig9(opt Options) *Plan {
 
 // fig10: cost per transaction as the number of rows grows: local and
 // multisite, read-only and update, for six configurations.
-func planFig10(opt Options) *Plan {
+func studyFig10(opt Options) *Study {
 	rowsPerTxn := []int{2, 4, 8, 12, 18, 24, 30, 40, 60, 80, 100}
 	configs := []int{24, 12, 8, 4, 2, 1}
 	if opt.Quick {
@@ -83,13 +83,13 @@ func planFig10(opt Options) *Plan {
 		rowLabels[i] = fmt.Sprintf("%dISL", n)
 	}
 
-	p := &Plan{Result: &Result{
+	p := &Study{
 		ID: "fig10", Title: "Cost per transaction vs rows accessed", Ref: "Figure 10",
 		Notes: []string{
 			"cost = active cores x window / committed transactions, as the paper reports it",
 			"local charts run the single-thread optimization on 24ISL (no locking/latching)",
 		},
-	}}
+	}
 	numCores := topology.QuadSocket().NumCores()
 	costEmit := func(table, row, col int) Emit {
 		return Emit{table, row, col, func(x Metrics) float64 {
@@ -108,14 +108,14 @@ func planFig10(opt Options) *Plan {
 		{"multisite update", true, true},
 	}
 	for ti, v := range variants {
-		p.Result.Tables = append(p.Result.Tables, NewTable(v.name, "us/txn", "config", rowLabels, "rows", cols))
+		p.Tables = append(p.Tables, NewTable(v.name, "us/txn", "config", rowLabels, "rows", cols))
 		for i, n := range configs {
 			for j, r := range rowsPerTxn {
 				pct := 0.0
 				if v.multisite {
 					pct = 1.0
 				}
-				p.Cells = append(p.Cells, microCell(
+				p.Cells = append(p.Cells, MicroCell(
 					fmt.Sprintf("fig10/%s/%dISL/rows=%d", v.name, n, r), MicroSpec{
 						Machine: topology.QuadSocket, Instances: n, Rows: stdRows,
 						MC:        workload.MicroConfig{RowsPerTxn: r, Write: v.write, PctMultisite: pct},
@@ -129,7 +129,7 @@ func planFig10(opt Options) *Plan {
 
 // fig11: time breakdown per transaction for the 4-row microbenchmarks on
 // 4ISL at 0/50/100% multisite.
-func planFig11(Options) *Plan {
+func studyFig11(Options) *Study {
 	pcts := []float64{0, 0.5, 1}
 	buckets := []struct {
 		name string
@@ -150,12 +150,12 @@ func planFig11(Options) *Plan {
 		cols[j] = fmt.Sprintf("%.0f%%", p*100)
 	}
 
-	p := &Plan{Result: &Result{
+	p := &Study{
 		ID: "fig11", Title: "Time breakdown per transaction (4ISL, 4 rows)", Ref: "Figure 11",
 		Notes: []string{
 			"paper: communication dominates distributed read-only; updates split between communication and logging",
 		},
-	}}
+	}
 	bucketEmit := func(table, row, col int, ids []exec.Bucket) Emit {
 		return Emit{table, row, col, func(x Metrics) float64 {
 			bd := x.M.BreakdownPerTxn()
@@ -171,13 +171,13 @@ func planFig11(Options) *Plan {
 		if wk.write {
 			name = "updating 4 rows"
 		}
-		p.Result.Tables = append(p.Result.Tables, NewTable(name, "us/txn", "component", rowLabels, "% multisite", cols))
+		p.Tables = append(p.Tables, NewTable(name, "us/txn", "component", rowLabels, "% multisite", cols))
 		for j, pct := range pcts {
 			emits := make([]Emit, 0, len(buckets))
 			for i, b := range buckets {
 				emits = append(emits, bucketEmit(ti, i, j, b.ids))
 			}
-			p.Cells = append(p.Cells, microCell(
+			p.Cells = append(p.Cells, MicroCell(
 				fmt.Sprintf("fig11/%s/p=%.0f%%", wk.kind, pct*100), MicroSpec{
 					Machine: topology.QuadSocket, Instances: 4, Rows: stdRows,
 					MC: workload.MicroConfig{RowsPerTxn: 4, Write: wk.write, PctMultisite: pct},
@@ -188,7 +188,7 @@ func planFig11(Options) *Plan {
 }
 
 func init() {
-	register(Experiment{ID: "fig9", Title: "Throughput vs % multisite transactions", Ref: "Figure 9", Plan: planFig9})
-	register(Experiment{ID: "fig10", Title: "Cost per transaction vs rows accessed", Ref: "Figure 10", Plan: planFig10})
-	register(Experiment{ID: "fig11", Title: "Per-transaction time breakdown", Ref: "Figure 11", Plan: planFig11})
+	register(Experiment{ID: "fig9", Title: "Throughput vs % multisite transactions", Ref: "Figure 9", Study: studyFig9})
+	register(Experiment{ID: "fig10", Title: "Cost per transaction vs rows accessed", Ref: "Figure 10", Study: studyFig10})
+	register(Experiment{ID: "fig11", Title: "Per-transaction time breakdown", Ref: "Figure 11", Study: studyFig11})
 }

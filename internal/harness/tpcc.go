@@ -17,7 +17,7 @@ import (
 // shared-everything. A second table reports the committed multisite
 // fraction so the throughput trend can be read against the distributed
 // load that causes it.
-func planTPCCMix(opt Options) *Plan {
+func studyTPCCMix(opt Options) *Study {
 	const warehouses = 24
 	scales := []float64{0, 1, 2, 4, 8}
 	configs := []int{24, 4, 1}
@@ -43,7 +43,7 @@ func planTPCCMix(opt Options) *Plan {
 		rows[i] = fmt.Sprintf("%dISL", n)
 	}
 
-	p := &Plan{Result: &Result{
+	p := &Study{
 		ID: "tpcc", Title: "Full TPC-C mix across island configurations", Ref: "Figures 7/9 (full mix)",
 		Notes: []string{
 			"standard 45/43/4/4/4 mix; columns scale the spec's remote probabilities (15% remote customers, 1% remote stock per line)",
@@ -54,7 +54,7 @@ func planTPCCMix(opt Options) *Plan {
 			NewTable("throughput", "KTps", "config", rows, "remote scale", cols),
 			NewTable("multisite fraction", "%", "config", rows, "remote scale", cols),
 		},
-	}}
+	}
 
 	for i, n := range configs {
 		for j, scale := range scales {
@@ -66,14 +66,14 @@ func planTPCCMix(opt Options) *Plan {
 			if remoteItemPct > 1 {
 				remoteItemPct = 1
 			}
-			p.Cells = append(p.Cells, tpccCell(
+			p.Cells = append(p.Cells, TPCCCell(
 				fmt.Sprintf("tpcc/%dISL/remote=%gx", n, scale), TPCCSpec{
 					Machine: topology.QuadSocket, Instances: n, Warehouses: warehouses,
 					Mix:       workload.StandardMix(),
 					RemotePct: remotePct, RemoteItemPct: remoteItemPct,
 					Sizing: sizing,
 				},
-				tpsEmit(0, i, j),
+				TPSEmit(0, i, j),
 				Emit{1, i, j, func(x Metrics) float64 {
 					total := x.M.Local + x.M.Multisite
 					if total == 0 {
@@ -88,5 +88,5 @@ func planTPCCMix(opt Options) *Plan {
 
 func init() {
 	register(Experiment{ID: "tpcc", Title: "Full TPC-C mix across island configurations",
-		Ref: "Figures 7/9 (full mix)", Plan: planTPCCMix})
+		Ref: "Figures 7/9 (full mix)", Study: studyTPCCMix})
 }

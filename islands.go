@@ -19,13 +19,25 @@
 //   - the advisor: Advise picks the island size for a workload, answering
 //     the paper's future-work question;
 //   - experiments: Experiments/RunExperiment regenerate every table and
-//     figure of the paper.
+//     figure of the paper;
+//   - the study API: Study, Cell, Emit, Table and Metrics expose the
+//     declarative plan layer the experiments themselves are built on.
+//     MicroCell, TPCCCell and ScalarCell build cells from specs, Grid
+//     enumerates cross products, Study.Seeds replicates every cell over N
+//     seeds and reports mean ±σ columns, and Geometry/Machines sweep
+//     hypothetical machine geometries. Study.Run executes on the
+//     deterministic parallel executor: results are bit-identical at every
+//     Parallel setting.
 //
-// See examples/ for runnable walkthroughs and DESIGN.md for how the
-// simulation substitutes for the paper's hardware.
+// See examples/ for runnable walkthroughs (examples/custom_study builds a
+// from-scratch seed-replicated geometry study) and DESIGN.md for how the
+// simulation substitutes for the paper's hardware and for the study API's
+// determinism contract.
 package islands
 
 import (
+	"fmt"
+
 	"islands/internal/core"
 	"islands/internal/engine"
 	"islands/internal/exec"
@@ -227,18 +239,111 @@ type ExperimentOptions = harness.Options
 type ExperimentResult = harness.Result
 
 // Experiments returns every registered reproduction (fig2..fig14, table1,
-// and the full TPC-C mix experiment "tpcc").
+// and the full TPC-C mix experiment "tpcc"). Each carries the Study
+// builder it is made of, so callers can transform a registered experiment
+// (e.g. Study(opt).Seeds(4).Run(opt)) instead of just running it.
 func Experiments() []Experiment { return harness.All() }
 
+// ExperimentIDs returns every registered experiment id, sorted.
+func ExperimentIDs() []string { return harness.IDs() }
+
 // RunExperiment runs the experiment with the given id ("fig9", "table1",
-// ...). ok is false for unknown ids.
-func RunExperiment(id string, opt ExperimentOptions) (*ExperimentResult, bool) {
-	e, ok := harness.Get(id)
-	if !ok {
-		return nil, false
+// ...). Unknown ids return an error naming every valid id.
+func RunExperiment(id string, opt ExperimentOptions) (*ExperimentResult, error) {
+	res, err := harness.Run(id, opt)
+	if err != nil {
+		return nil, fmt.Errorf("islands: %w", err)
 	}
-	return e.Run(opt), true
+	return res, nil
 }
+
+// RunExperimentOK is the historical bool-returning form.
+//
+// Deprecated: use RunExperiment, whose error names the valid ids. This
+// shim will be removed one release after the study API's introduction.
+func RunExperimentOK(id string, opt ExperimentOptions) (*ExperimentResult, bool) {
+	res, err := RunExperiment(id, opt)
+	return res, err == nil
+}
+
+// Study is a named, composable grid of measurement cells plus the result
+// tables they fill — the declarative carrier behind every registered
+// experiment, now buildable by library users. Construct one directly
+// (ID/Title/Tables/Cells), transform it with Seeds, and execute it with
+// Run; results are bit-identical at every Parallel setting.
+type Study = harness.Study
+
+// Cell is one independent unit of a study's grid: machine + config +
+// workload + seed, with the output coordinates it feeds. Cells must
+// construct every piece of state they touch — the executor may run cells
+// of one study concurrently.
+type Cell = harness.Cell
+
+// Emit wires one value of a cell's metrics to one table cell:
+// Tables[Table].Values[Row][Col] = Metric(metrics).
+type Emit = harness.Emit
+
+// Metrics is what one cell's simulation produced: a full deployment
+// Measurement (M) or a bare scalar (Value).
+type Metrics = harness.Metrics
+
+// Table is one printable result grid of a study.
+type Table = harness.Table
+
+// StudyOptions tune a study run; identical to ExperimentOptions.
+type StudyOptions = harness.Options
+
+// MicroCellSpec declares a microbenchmark deployment cell: machine
+// constructor, instance count, dataset, workload mix, seed delta.
+type MicroCellSpec = harness.MicroSpec
+
+// TPCCCellSpec declares a TPC-C deployment cell: machine constructor,
+// instance count, warehouses, transaction-mix weights, remote
+// probabilities, sizing.
+type TPCCCellSpec = harness.TPCCSpec
+
+// Geometry describes a hypothetical machine for a machine-geometry sweep
+// (the knobs of CustomMachine). Its Machine method builds a fresh
+// topology model per call, as cell specs require.
+type Geometry = harness.Geometry
+
+// NewTable builds an empty study table with the given axes.
+func NewTable(name, unit, rowHead string, rows []string, colHead string, cols []string) *Table {
+	return harness.NewTable(name, unit, rowHead, rows, colHead, cols)
+}
+
+// MicroCell builds a microbenchmark cell from its spec.
+func MicroCell(name string, s MicroCellSpec, emits ...Emit) Cell {
+	return harness.MicroCell(name, s, emits...)
+}
+
+// TPCCCell builds a TPC-C transaction-mix cell from its spec.
+func TPCCCell(name string, s TPCCCellSpec, emits ...Emit) Cell {
+	return harness.TPCCCell(name, s, emits...)
+}
+
+// ScalarCell builds a cell around a custom measurement returning one
+// value; run must construct all simulation state it touches.
+func ScalarCell(name string, run func(opt StudyOptions) float64, emits ...Emit) Cell {
+	return harness.ScalarCell(name, run, emits...)
+}
+
+// Grid builds one cell per point of the cross product of the axis
+// lengths, in row-major order (the last axis varies fastest).
+func Grid(build func(idx []int) Cell, lens ...int) []Cell {
+	return harness.Grid(build, lens...)
+}
+
+// Machines returns one fresh-machine constructor per geometry, ready for
+// the Machine field of MicroCellSpec/TPCCCellSpec: a geometry sweep is a
+// list of constructors.
+func Machines(geos ...Geometry) []func() *Machine { return harness.Machines(geos...) }
+
+// TPSEmit emits a cell's throughput in KTps at the given coordinates.
+func TPSEmit(table, row, col int) Emit { return harness.TPSEmit(table, row, col) }
+
+// ValueEmit emits a scalar cell's value verbatim at the given coordinates.
+func ValueEmit(table, row, col int) Emit { return harness.ValueEmit(table, row, col) }
 
 // WalOptions configures logging (group commit, flush latency, Aether-style
 // consolidation).

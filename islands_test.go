@@ -1,6 +1,8 @@
 package islands_test
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"islands"
@@ -124,12 +126,87 @@ func TestExperimentsRegistryViaFacade(t *testing.T) {
 	if len(islands.Experiments()) < 12 {
 		t.Fatalf("only %d experiments registered", len(islands.Experiments()))
 	}
-	res, ok := islands.RunExperiment("fig6", islands.ExperimentOptions{Quick: true, Seed: 1})
-	if !ok || len(res.Tables) == 0 {
-		t.Fatal("fig6 did not run via facade")
+	res, err := islands.RunExperiment("fig6", islands.ExperimentOptions{Quick: true, Seed: 1})
+	if err != nil || len(res.Tables) == 0 {
+		t.Fatalf("fig6 did not run via facade: %v", err)
 	}
-	if _, ok := islands.RunExperiment("nope", islands.ExperimentOptions{}); ok {
-		t.Error("unknown experiment id accepted")
+	_, err = islands.RunExperiment("nope", islands.ExperimentOptions{})
+	if err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+	for _, id := range islands.ExperimentIDs() {
+		if !strings.Contains(err.Error(), id) {
+			t.Errorf("unknown-id error does not name valid id %s: %v", id, err)
+		}
+	}
+	if len(islands.ExperimentIDs()) != len(islands.Experiments()) {
+		t.Error("ExperimentIDs and Experiments disagree")
+	}
+
+	// The deprecated bool-returning shim still works for one release.
+	if res, ok := islands.RunExperimentOK("fig6", islands.ExperimentOptions{Quick: true, Seed: 1}); !ok || res == nil {
+		t.Error("RunExperimentOK rejected a valid id")
+	}
+	if _, ok := islands.RunExperimentOK("nope", islands.ExperimentOptions{}); ok {
+		t.Error("RunExperimentOK accepted an unknown id")
+	}
+}
+
+// TestPublicStudyAPI drives the exported study surface end to end the way
+// examples/custom_study does: a Grid of MicroCells on a Machines-built
+// custom geometry, seed-replicated with Seeds, run at two parallelism
+// settings, with identical mean ±σ tables both times.
+func TestPublicStudyAPI(t *testing.T) {
+	geo := islands.Geometry{Name: "mini", Sockets: 2, CoresPerSocket: 2, LLCBytes: 4 << 20}
+	machine := islands.Machines(geo)[0]
+	sizes := []int{4, 1}
+
+	build := func() *islands.Study {
+		st := &islands.Study{
+			ID: "mini", Title: "mini geometry study",
+			Tables: []*islands.Table{
+				islands.NewTable("throughput", "KTps", "config", []string{"4ISL", "1ISL"}, "", []string{"v"}),
+			},
+		}
+		st.Cells = islands.Grid(func(idx []int) islands.Cell {
+			return islands.MicroCell(
+				fmt.Sprintf("mini/%dISL", sizes[idx[0]]),
+				islands.MicroCellSpec{
+					Machine:   machine,
+					Instances: sizes[idx[0]],
+					Rows:      2400,
+					MC:        islands.MicroConfig{RowsPerTxn: 2, PctMultisite: 0.2},
+				},
+				islands.TPSEmit(0, idx[0], 0))
+		}, len(sizes))
+		return st
+	}
+
+	var results []*islands.ExperimentResult
+	for _, par := range []int{1, 2} {
+		res := build().Seeds(2).Run(islands.StudyOptions{Quick: true, Seed: 9, Parallel: par})
+		tab := res.Find("throughput")
+		if tab == nil {
+			t.Fatal("throughput table missing")
+		}
+		if len(tab.Cols) != 2 || tab.Cols[1] != "v ±σ" {
+			t.Fatalf("Seeds did not double columns: %v", tab.Cols)
+		}
+		for i := range tab.Rows {
+			if tab.Get(i, 0) <= 0 {
+				t.Errorf("%s mean throughput = %v, want > 0", tab.Rows[i], tab.Get(i, 0))
+			}
+		}
+		results = append(results, res)
+	}
+	a, b := results[0].Tables[0], results[1].Tables[0]
+	for i := range a.Rows {
+		for j := range a.Cols {
+			if a.Get(i, j) != b.Get(i, j) {
+				t.Errorf("study result depends on parallelism at [%d][%d]: %v != %v",
+					i, j, a.Get(i, j), b.Get(i, j))
+			}
+		}
 	}
 }
 
