@@ -13,14 +13,17 @@
 //
 //	islandsprobe -list
 //	islandsprobe [-seed N] [-experiments | -only fig2,fig9,...] [-full]
-//	             [-seeds N] [-geometry S:C:LLC,...]
+//	             [-seeds N] [-geometry S:C:LLC[:fabric],...] [-latscale 0.5,1,2]
 //	             [-parallel N] [-progress] [-celltimes]
 //
 // -seeds N replicates every cell of the selected experiments over N seeds
 // through the study API's Seeds wrapper, doubling each table's columns
 // with ±σ (stddev over the replicas). -geometry runs an ad-hoc
-// machine-geometry sweep (sockets:coresPerSocket:LLC-MB per machine) built
-// entirely on the public study builders.
+// machine-geometry sweep (sockets:coresPerSocket:LLC-MB per machine, with
+// an optional fourth field naming the socket fabric: full, ring, mesh,
+// torus or hypercube) built entirely on the public study builders;
+// -latscale additionally fans every geometry across interconnect latency
+// scales (0.5 = a wire twice as fast).
 package main
 
 import (
@@ -41,15 +44,25 @@ func main() {
 	list := flag.Bool("list", false, "print id, ref and title of every registered experiment and exit")
 	full := flag.Bool("full", false, "fingerprint the full-mode sweeps instead of quick mode (very slow; implies -experiments)")
 	seeds := flag.Int("seeds", 1, "replicate every study cell over N seeds and add mean ±σ columns (implies -experiments unless -geometry is given)")
-	geometry := flag.String("geometry", "", "comma-separated machine geometries sockets:cores:LLC-MB (e.g. 16:4:12,8:10:30) to sweep ad hoc")
+	geometry := flag.String("geometry", "", "comma-separated machine geometries sockets:cores:LLC-MB[:fabric] (e.g. 16:4:12,8:10:30:ring) to sweep ad hoc")
+	latscale := flag.String("latscale", "", "comma-separated interconnect latency scales (e.g. 0.5,1,2) fanning every -geometry machine")
 	parallel := flag.Int("parallel", 0, "concurrently-run experiment cells (0 = GOMAXPROCS, 1 = sequential)")
 	progress := flag.Bool("progress", false, "report per-cell experiment progress on stderr")
 	celltimes := flag.Bool("celltimes", false, "report per-cell wall-clock on stderr (the accounting behind cell cost hints)")
 	flag.Parse()
 
 	if *list {
+		// The testbed machines first, with their socket fabric and mean hop
+		// count: fabric sweeps (the fabric experiment, -geometry S:C:LLC:ring)
+		// are identifiable from the listing by exactly these two numbers.
+		fmt.Println("machines:")
+		for _, m := range []*islands.Machine{islands.QuadSocket(), islands.OctoSocket()} {
+			fmt.Printf("  %-12s %ds x %dc  interconnect=%-10s mean hops %.2f\n",
+				m.Name, m.SocketCount, m.CoresPerSocket, m.Interconnect.Name, m.MeanHops())
+		}
+		fmt.Println("experiments:")
 		for _, e := range islands.Experiments() {
-			fmt.Printf("%-8s %-12s %s\n", e.ID, e.Ref, e.Title)
+			fmt.Printf("  %-8s %-12s %s\n", e.ID, e.Ref, e.Title)
 		}
 		return
 	}
@@ -67,6 +80,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, "islandsprobe: %v\n", err)
 			os.Exit(2)
 		}
+	}
+	if *latscale != "" {
+		if geos == nil {
+			fmt.Fprintln(os.Stderr, "islandsprobe: -latscale scopes to a machine sweep; give -geometry too")
+			os.Exit(2)
+		}
+		scales, err := parseScales(*latscale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "islandsprobe: %v\n", err)
+			os.Exit(2)
+		}
+		var fanned []islands.Geometry
+		for _, g := range geos {
+			fanned = append(fanned, islands.LatencyScales(g, scales...)...)
+		}
+		geos = fanned
 	}
 	var selected map[string]bool
 	if *only != "" {
@@ -224,8 +253,10 @@ func geometryStudy(geos []islands.Geometry) *islands.Study {
 	return st
 }
 
-// parseGeometries parses "sockets:coresPerSocket:LLC-MB" triples, e.g.
-// "16:4:12,8:10:30".
+// parseGeometries parses "sockets:coresPerSocket:LLC-MB[:fabric]" tuples,
+// e.g. "16:4:12,8:10:30:ring". The optional fourth field names the socket
+// fabric (full, ring, mesh, torus, hypercube); omitted means fully
+// connected.
 func parseGeometries(s string) ([]islands.Geometry, error) {
 	var out []islands.Geometry
 	for _, part := range strings.Split(s, ",") {
@@ -234,23 +265,94 @@ func parseGeometries(s string) ([]islands.Geometry, error) {
 			continue
 		}
 		f := strings.Split(part, ":")
-		if len(f) != 3 {
-			return nil, fmt.Errorf("geometry %q: want sockets:coresPerSocket:LLC-MB", part)
+		if len(f) != 3 && len(f) != 4 {
+			return nil, fmt.Errorf("geometry %q: want sockets:coresPerSocket:LLC-MB[:fabric]", part)
 		}
 		sockets, err1 := strconv.Atoi(f[0])
 		cores, err2 := strconv.Atoi(f[1])
 		llcMB, err3 := strconv.Atoi(f[2])
 		if err1 != nil || err2 != nil || err3 != nil || sockets <= 0 || cores <= 0 || llcMB <= 0 {
-			return nil, fmt.Errorf("geometry %q: want three positive integers sockets:coresPerSocket:LLC-MB", part)
+			return nil, fmt.Errorf("geometry %q: want positive integers sockets:coresPerSocket:LLC-MB", part)
 		}
-		out = append(out, islands.Geometry{
+		g := islands.Geometry{
 			Sockets:        sockets,
 			CoresPerSocket: cores,
 			LLCBytes:       int64(llcMB) << 20,
-		})
+		}
+		if len(f) == 4 {
+			ic, err := fabricFor(f[3], sockets)
+			if err != nil {
+				return nil, fmt.Errorf("geometry %q: %w", part, err)
+			}
+			g.Interconnect = ic
+		}
+		out = append(out, g)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no geometries in %q", s)
+	}
+	return out, nil
+}
+
+// fabricFor builds the named socket fabric over the given socket count.
+// Mesh and torus factor the count into the most-square rows x cols grid;
+// hypercube requires a power of two.
+func fabricFor(name string, sockets int) (islands.Interconnect, error) {
+	switch name {
+	case "full":
+		return islands.FullyConnected(sockets), nil
+	case "ring":
+		return islands.Ring(sockets), nil
+	case "mesh":
+		r := squarestRows(sockets)
+		return islands.Mesh2D(r, sockets/r), nil
+	case "torus":
+		r := squarestRows(sockets)
+		return islands.Torus2D(r, sockets/r), nil
+	case "hypercube", "cube":
+		dim := 0
+		for 1<<dim < sockets {
+			dim++
+		}
+		if 1<<dim != sockets {
+			return islands.Interconnect{}, fmt.Errorf("hypercube needs a power-of-two socket count, got %d", sockets)
+		}
+		return islands.Hypercube(dim), nil
+	default:
+		return islands.Interconnect{}, fmt.Errorf("unknown fabric %q (want full, ring, mesh, torus or hypercube)", name)
+	}
+}
+
+// squarestRows returns the largest divisor of n not exceeding sqrt(n) —
+// the row count of the most-square mesh/torus factorization (primes
+// degrade to a 1 x n path).
+func squarestRows(n int) int {
+	best := 1
+	for r := 1; r*r <= n; r++ {
+		if n%r == 0 {
+			best = r
+		}
+	}
+	return best
+}
+
+// parseScales parses the comma-separated -latscale list into positive
+// floats.
+func parseScales(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("latency scale %q: want a positive number", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no scales in %q", s)
 	}
 	return out, nil
 }

@@ -21,7 +21,7 @@ func main() {
 
 func probe(m *topology.Machine) {
 	fmt.Println(m)
-	fmt.Printf("  mean socket distance: %.2f hops\n", m.MeanHops())
+	fmt.Printf("  interconnect: %s, mean socket distance %.2f hops\n", m.Interconnect.Name, m.MeanHops())
 
 	fmt.Print("  hop matrix:\n")
 	for a := 0; a < m.SocketCount; a++ {

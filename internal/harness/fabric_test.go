@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestFabricHopPenaltyVisible is the fabric experiment's acceptance
+// criterion: at the highest multisite fraction, the wide-diameter fabrics
+// (ring, mesh) deliver strictly lower throughput than the fully-connected
+// machine — the hop penalty is measured through the whole stack, not
+// modeled away — while at 0% multisite the fabric is irrelevant and every
+// row ties exactly (the island promise).
+func TestFabricHopPenaltyVisible(t *testing.T) {
+	e, ok := Get("fabric")
+	if !ok {
+		t.Fatal("fabric not registered")
+	}
+	opt := Options{Quick: true, Short: testing.Short(), Seed: 42}
+	res := e.Run(opt)
+
+	tab := res.Find("throughput")
+	if tab == nil {
+		t.Fatal("fabric result has no throughput table")
+	}
+	row := map[string]int{}
+	for i, r := range tab.Rows {
+		row[r] = i
+	}
+	for _, want := range []string{"full", "hypercube4", "mesh4x4", "ring"} {
+		if _, ok := row[want]; !ok {
+			t.Fatalf("fabric table rows %v miss %q", tab.Rows, want)
+		}
+	}
+
+	last := len(tab.Cols) - 1
+	full := tab.Get(row["full"], last)
+	for _, fabric := range []string{"ring", "mesh4x4"} {
+		if got := tab.Get(row[fabric], last); got >= full {
+			t.Errorf("%s at %s multisite = %v, not strictly below fully-connected %v",
+				fabric, tab.Cols[last], got, full)
+		}
+	}
+	for _, fabric := range []string{"hypercube4", "mesh4x4", "ring"} {
+		if got := tab.Get(row[fabric], 0); got != tab.Get(row["full"], 0) {
+			t.Errorf("%s at 0%% multisite = %v, want exactly the fully-connected %v (fabric must be invisible when partitioned)",
+				fabric, got, tab.Get(row["full"], 0))
+		}
+	}
+
+	hops := res.Find("mean hops")
+	if hops == nil {
+		t.Fatal("fabric result has no mean hops table")
+	}
+	if hops.Get(row["full"], 0) != 1 || hops.Get(row["ring"], 0) <= hops.Get(row["mesh4x4"], 0) {
+		t.Errorf("mean-hops table is not the fabric diameter ladder: %v", hops.Values)
+	}
+}
+
+// TestFabricForceFullCellsHinted pins the cost-hint satellite: the
+// fully-multisite cells run the full window even in quick mode (the hop
+// penalty sits below the quick window's quantization) and are therefore
+// the plan's wall-clock outliers, so they must carry a positive cost hint
+// and dispatch before every unhinted cell.
+func TestFabricForceFullCellsHinted(t *testing.T) {
+	e, ok := Get("fabric")
+	if !ok {
+		t.Fatal("fabric not registered")
+	}
+	p := e.Study(Options{Quick: true})
+	hinted := 0
+	for _, c := range p.Cells {
+		if c.CostHint > 0 {
+			hinted++
+		}
+	}
+	if hinted == 0 || hinted == len(p.Cells) {
+		t.Fatalf("fabric has %d/%d hinted cells; want some but not all", hinted, len(p.Cells))
+	}
+	order := dispatchOrder(p.Cells)
+	for i := 0; i < hinted; i++ {
+		if p.Cells[order[i]].CostHint == 0 {
+			t.Fatalf("dispatch slot %d is an unhinted cell before all hinted ones ran", i)
+		}
+	}
+}

@@ -93,14 +93,28 @@ type MicroSpec struct {
 	LocalOnly bool
 	// SeedDelta is added to opt.Seed for this cell (seed-replica cells).
 	SeedDelta int64
+	// ForceFull measures with the full (non-quick) window even in quick
+	// mode, for cells whose effect sits near the quick window's
+	// quantization noise (the fabric experiment's hop penalty, like
+	// fig3's placement gap on the TPC-C side).
+	ForceFull bool
 	// Tweak optionally adjusts the built config (active cores, disk, ...).
 	Tweak func(*core.Config)
 }
 
-// MicroCell builds a standard microbenchmark cell from its spec.
+// MicroCell builds a standard microbenchmark cell from its spec. ForceFull
+// cells run the long window even in quick mode, so they carry a cost hint
+// for the scheduler.
 func MicroCell(name string, s MicroSpec, emits ...Emit) Cell {
-	return Cell{Name: name, Emits: emits, Run: func(opt Options) Metrics {
+	var hint float64
+	if s.ForceFull {
+		hint = 1
+	}
+	return Cell{Name: name, CostHint: hint, Emits: emits, Run: func(opt Options) Metrics {
 		opt.Seed += s.SeedDelta
+		if s.ForceFull {
+			opt.Quick = false
+		}
 		return Metrics{M: runMicro(s.Machine(), s.Instances, s.Rows, s.MC, s.LocalOnly, opt, s.Tweak)}
 	}}
 }

@@ -214,19 +214,54 @@ func Grid(build func(idx []int) Cell, lens ...int) []Cell {
 // Geometry describes a hypothetical machine for a machine-geometry sweep
 // — the knobs of topology.Custom, the paper's "what hardware would change
 // the verdict" axis. The zero LLCBytes defaults to 12 MB per socket (the
-// quad-socket machine's size).
+// quad-socket machine's size); the zero Interconnect defaults to fully
+// connected and the zero LatencyScale to 1 (unscaled), so pre-fabric
+// geometries are untouched.
 type Geometry struct {
 	Name           string // defaults to "<sockets>s<cores>c"
 	Sockets        int
 	CoresPerSocket int
 	LLCBytes       int64 // per socket
+
+	// Interconnect selects the socket fabric (zero value: fully
+	// connected). Its socket count must match Sockets; Machine panics on a
+	// mismatch, since a silently truncated hop matrix would invalidate the
+	// whole sweep.
+	Interconnect topology.Interconnect
+	// LatencyScale multiplies the machine's cross-socket latency terms
+	// (see topology.Machine.LatencyScale). 0 and 1 both mean unscaled.
+	LatencyScale float64
 }
 
 // Machine constructs a fresh machine model of the geometry. Every call
-// returns a new value: cells must not share a *topology.Machine.
+// returns a new value: cells must not share a *topology.Machine. Invalid
+// knobs panic rather than run: a mismatched fabric, a non-positive or NaN
+// latency scale, or a machine wider than the memory model's 16-socket
+// sharer mask would silently invalidate every number the sweep produces.
 func (g Geometry) Machine() *topology.Machine {
-	return topology.Custom(g.Label(), g.Sockets, g.CoresPerSocket, g.llcBytes())
+	if g.Sockets > maxModelSockets {
+		panic(fmt.Sprintf("harness: geometry %s has %d sockets; the MESI model's sharer mask supports at most %d",
+			g.Label(), g.Sockets, maxModelSockets))
+	}
+	if s := g.LatencyScale; s < 0 || s != s {
+		panic(fmt.Sprintf("harness: geometry %s has latency scale %v; want >= 0 (0 means unscaled)", g.Label(), s))
+	}
+	m := topology.Custom(g.Label(), g.Sockets, g.CoresPerSocket, g.llcBytes())
+	if n := g.Interconnect.Sockets(); n != 0 {
+		if n != g.Sockets {
+			panic(fmt.Sprintf("harness: geometry %s has %d sockets but interconnect %q connects %d",
+				g.Label(), g.Sockets, g.Interconnect.Name, n))
+		}
+		m.Interconnect = g.Interconnect
+	}
+	m.LatencyScale = g.LatencyScale
+	return m
 }
+
+// maxModelSockets is the widest machine the memory model supports: a
+// mem.Line tracks its sharing sockets in a uint16 mask, so sockets 16 and
+// up would silently fall out of coherence accounting.
+const maxModelSockets = 16
 
 // Label returns the geometry's display name: Name, or a default that
 // encodes every swept knob ("16s4c12M") so geometries differing only in
@@ -244,7 +279,22 @@ func (g Geometry) Label() string {
 	case llc%(1<<20) != 0:
 		size = fmt.Sprintf("%dK", llc>>10)
 	}
-	return fmt.Sprintf("%ds%dc%s", g.Sockets, g.CoresPerSocket, size)
+	return fmt.Sprintf("%ds%dc%s%s", g.Sockets, g.CoresPerSocket, size, g.variantSuffix())
+}
+
+// variantSuffix encodes the fabric and latency-scale knobs into default
+// labels, so geometries differing only in interconnect or scale stay
+// distinguishable in row labels and cell names. Unset knobs contribute
+// nothing: pre-fabric labels are unchanged.
+func (g Geometry) variantSuffix() string {
+	var s string
+	if g.Interconnect.Sockets() != 0 {
+		s += "-" + g.Interconnect.Name
+	}
+	if g.LatencyScale != 0 && g.LatencyScale != 1 {
+		s += fmt.Sprintf("-ls%g", g.LatencyScale)
+	}
+	return s
 }
 
 func (g Geometry) llcBytes() int64 {
@@ -252,6 +302,42 @@ func (g Geometry) llcBytes() int64 {
 		return 12 << 20
 	}
 	return g.LLCBytes
+}
+
+// Interconnects fans a base geometry across socket fabrics: one Geometry
+// per fabric, each keeping every other knob of the base. A fabric sweep
+// composes with the rest of the study API exactly like any geometry list —
+// Machines turns it into cell constructors, Grid crosses it with workload
+// axes, Seeds replicates the result. Explicitly named bases get the
+// fabric's name appended so the variants stay distinguishable.
+func Interconnects(base Geometry, fabrics ...topology.Interconnect) []Geometry {
+	out := make([]Geometry, len(fabrics))
+	for i, ic := range fabrics {
+		g := base
+		g.Interconnect = ic
+		if base.Name != "" {
+			g.Name = base.Name + "-" + ic.Name
+		}
+		out[i] = g
+	}
+	return out
+}
+
+// LatencyScales fans a base geometry across interconnect latency scales:
+// one Geometry per scale (0.5 = an interconnect twice as fast, 2 = twice
+// as slow), each keeping every other knob of the base. Explicitly named
+// bases get a "-ls<scale>" suffix for scales other than 1.
+func LatencyScales(base Geometry, scales ...float64) []Geometry {
+	out := make([]Geometry, len(scales))
+	for i, s := range scales {
+		g := base
+		g.LatencyScale = s
+		if base.Name != "" && s != 0 && s != 1 {
+			g.Name = fmt.Sprintf("%s-ls%g", base.Name, s)
+		}
+		out[i] = g
+	}
+	return out
 }
 
 // Machines returns one machine constructor per geometry, ready for

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"strings"
 	"testing"
@@ -248,6 +249,32 @@ func TestGeometryMachines(t *testing.T) {
 	}
 	if ms[0] == ms[1] || ms[0].SocketCount != 16 || ms[2].Name != "hypo" {
 		t.Error("constructors must build fresh, per-geometry machines")
+	}
+}
+
+// TestGeometryMachineRejectsInvalidKnobs: a geometry whose knobs would
+// silently invalidate every simulated number must refuse to build — a
+// fabric sized for a different socket count, a negative or NaN latency
+// scale, or a machine wider than the memory model's 16-socket sharer
+// mask.
+func TestGeometryMachineRejectsInvalidKnobs(t *testing.T) {
+	expectPanic := func(name string, g Geometry) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Geometry.Machine did not panic", name)
+			}
+		}()
+		g.Machine()
+	}
+	expectPanic("fabric size mismatch", Geometry{Sockets: 8, CoresPerSocket: 2, Interconnect: topology.Ring(4)})
+	expectPanic("negative latency scale", Geometry{Sockets: 4, CoresPerSocket: 2, LatencyScale: -1})
+	expectPanic("NaN latency scale", Geometry{Sockets: 4, CoresPerSocket: 2, LatencyScale: math.NaN()})
+	expectPanic("wider than sharer mask", Geometry{Sockets: 32, CoresPerSocket: 2, Interconnect: topology.Hypercube(5)})
+
+	// The boundary holds: 16 sockets (the fabric experiment's width) and
+	// scale 0 (unscaled) are valid.
+	if m := (Geometry{Sockets: 16, CoresPerSocket: 2, Interconnect: topology.Hypercube(4)}).Machine(); m.MeanHops() <= 1 {
+		t.Error("16-socket hypercube geometry should build")
 	}
 }
 

@@ -115,14 +115,17 @@ func (e *Endpoint[T]) Home() topology.CoreID { return e.home }
 // Pending returns the number of queued messages.
 func (e *Endpoint[T]) Pending() int { return e.q.Len() }
 
-// wireLatency computes the delivery latency between two endpoints.
+// wireLatency computes the delivery latency between two endpoints. The
+// cross-socket wire cost is an interconnect term: it grows with the fabric's
+// hop count and scales with the machine's LatencyScale, while the
+// same-socket kernel handoff does not.
 func (n *Network[T]) wireLatency(from, to topology.CoreID) sim.Time {
 	sa, sb := n.topo.SocketOf(from), n.topo.SocketOf(to)
 	if sa == sb {
 		return n.costs.WireSameSocket
 	}
 	h := n.topo.Hops(sa, sb)
-	return n.costs.WireCrossBase + sim.Time(h-1)*n.costs.WireCrossPerHop
+	return n.topo.ScaleCross(n.costs.WireCrossBase + sim.Time(h-1)*n.costs.WireCrossPerHop)
 }
 
 // Send charges the sender's CPU (from ctx.Core) and schedules delivery into

@@ -212,7 +212,7 @@ func (m *Model) classify(c topology.CoreID, l *Line, write bool) (sim.Time, acce
 	if l.sharers&(1<<uint(s)) != 0 {
 		if write && l.sharers != 1<<uint(s) {
 			// Upgrade: invalidate remote copies across the interconnect.
-			return topo.Lat.C2CCrossBase, c2cCross
+			return topo.CrossC2C(1), c2cCross
 		}
 		return topo.Lat.LLC, hitLLC
 	}
@@ -222,7 +222,7 @@ func (m *Model) classify(c topology.CoreID, l *Line, write bool) (sim.Time, acce
 		if h == 0 {
 			return topo.Lat.LLC, hitLLC
 		}
-		return topo.Lat.C2CCrossBase + sim.Time(h-1)*topo.Lat.C2CCrossPerHop, c2cCross
+		return topo.CrossC2C(h), c2cCross
 	}
 	// Nowhere cached: memory access at the line's home.
 	if l.home == s {

@@ -1,0 +1,214 @@
+package topology
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Interconnect is the socket fabric of a machine: a named matrix of
+// interconnect hop counts between every socket pair. The paper's thesis is
+// that this matrix — not the core count — shapes OLTP deployment choice:
+// the octo-socket testbed's 3 QPI links per CPU form a 3-cube whose 1-3 hop
+// spread is what separates "islands" from "one big machine". Promoting the
+// matrix to a first-class value lets studies sweep fabrics the testbed never
+// had (rings, meshes, tori) through the same machinery.
+//
+// The zero Interconnect has no sockets; Machine constructors always install
+// a concrete one. Values are immutable once built: constructors validate
+// (symmetry, zero diagonal, connectivity) and CustomHops deep-copies its
+// input, so a shared Interconnect value is safe across concurrently-run
+// experiment cells.
+type Interconnect struct {
+	// Name identifies the fabric in machine listings and sweep labels,
+	// e.g. "full", "ring", "mesh4x4", "hypercube3".
+	Name string
+
+	hops [][]int
+}
+
+// Sockets returns the number of sockets the fabric connects (0 for the
+// zero Interconnect).
+func (ic Interconnect) Sockets() int { return len(ic.hops) }
+
+// Hops returns the interconnect hop count between two sockets (0 if equal).
+func (ic Interconnect) Hops(a, b SocketID) int { return ic.hops[a][b] }
+
+// MeanHops returns the average hop count over distinct socket pairs — the
+// fabric's effective diameter, used in reporting and fabric sweeps.
+func (ic Interconnect) MeanHops() float64 {
+	total, n := 0, 0
+	for a := range ic.hops {
+		for b := a + 1; b < len(ic.hops); b++ {
+			total += ic.hops[a][b]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}
+
+// Validate checks the fabric invariants every constructor guarantees: a
+// square matrix with a zero diagonal, symmetric, and connected (every
+// distinct pair has a positive finite hop count). CustomHops runs it on
+// user-supplied matrices; the property tests run it on every built-in.
+func (ic Interconnect) Validate() error {
+	n := len(ic.hops)
+	// Squareness first: the symmetry pass below indexes hops[j][i] for j > i,
+	// so a short later row must be rejected before any cross-row access.
+	for i, row := range ic.hops {
+		if len(row) != n {
+			return fmt.Errorf("interconnect %q: row %d has %d entries, want %d", ic.Name, i, len(row), n)
+		}
+	}
+	for i, row := range ic.hops {
+		if row[i] != 0 {
+			return fmt.Errorf("interconnect %q: nonzero diagonal at socket %d", ic.Name, i)
+		}
+		for j, h := range row {
+			if i == j {
+				continue
+			}
+			if h <= 0 {
+				return fmt.Errorf("interconnect %q: sockets %d and %d are not connected (hops %d)", ic.Name, i, j, h)
+			}
+			if ic.hops[j][i] != h {
+				return fmt.Errorf("interconnect %q: asymmetric hops between sockets %d and %d (%d vs %d)",
+					ic.Name, i, j, h, ic.hops[j][i])
+			}
+		}
+	}
+	return nil
+}
+
+// Matrix returns a deep copy of the hop matrix (for display and tests; the
+// fabric itself stays immutable).
+func (ic Interconnect) Matrix() [][]int {
+	out := make([][]int, len(ic.hops))
+	for i, row := range ic.hops {
+		out[i] = append([]int(nil), row...)
+	}
+	return out
+}
+
+// FullyConnected builds a fabric where every socket pair is one hop — the
+// quad-socket testbed's full QPI mesh.
+func FullyConnected(n int) Interconnect {
+	checkSockets("FullyConnected", n)
+	h := newHops(n)
+	for i := range h {
+		for j := range h[i] {
+			if i != j {
+				h[i][j] = 1
+			}
+		}
+	}
+	return Interconnect{Name: "full", hops: h}
+}
+
+// Ring builds a fabric where socket i links only to its two neighbours
+// (i±1 mod n); hops are shortest-path ring distances. The worst-diameter
+// fabric a board vendor would plausibly ship.
+func Ring(n int) Interconnect {
+	checkSockets("Ring", n)
+	h := newHops(n)
+	for i := range h {
+		for j := range h[i] {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			if n-d < d {
+				d = n - d
+			}
+			h[i][j] = d
+		}
+	}
+	return Interconnect{Name: "ring", hops: h}
+}
+
+// Mesh2D builds a rows x cols grid fabric (sockets numbered row-major);
+// hops are Manhattan distances.
+func Mesh2D(rows, cols int) Interconnect {
+	checkSockets("Mesh2D", rows)
+	checkSockets("Mesh2D", cols)
+	return gridFabric(fmt.Sprintf("mesh%dx%d", rows, cols), rows, cols, false)
+}
+
+// Torus2D is Mesh2D with wrap-around links in both dimensions.
+func Torus2D(rows, cols int) Interconnect {
+	checkSockets("Torus2D", rows)
+	checkSockets("Torus2D", cols)
+	return gridFabric(fmt.Sprintf("torus%dx%d", rows, cols), rows, cols, true)
+}
+
+func gridFabric(name string, rows, cols int, wrap bool) Interconnect {
+	n := rows * cols
+	h := newHops(n)
+	axis := func(a, b, size int) int {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		if wrap && size-d < d {
+			d = size - d
+		}
+		return d
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			h[i][j] = axis(i/cols, j/cols, rows) + axis(i%cols, j%cols, cols)
+		}
+	}
+	return Interconnect{Name: name, hops: h}
+}
+
+// Hypercube builds a dim-cube fabric over 2^dim sockets: hops are the
+// Hamming distance of the socket ids. Hypercube(3) is exactly the
+// octo-socket testbed's 3 QPI links per CPU (Supermicro X8OBN).
+func Hypercube(dim int) Interconnect {
+	if dim < 0 || dim > 8 {
+		panic(fmt.Sprintf("topology: Hypercube(%d): dimension out of range [0,8]", dim))
+	}
+	n := 1 << dim
+	h := newHops(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			h[i][j] = bits.OnesCount(uint(i ^ j))
+		}
+	}
+	return Interconnect{Name: fmt.Sprintf("hypercube%d", dim), hops: h}
+}
+
+// CustomHops builds a fabric from a user-supplied hop matrix, deep-copying
+// it and rejecting matrices that break the invariants (asymmetry, nonzero
+// diagonal, disconnected pairs).
+func CustomHops(hops [][]int) (Interconnect, error) {
+	c := make([][]int, len(hops))
+	for i, row := range hops {
+		c[i] = append([]int(nil), row...)
+	}
+	ic := Interconnect{Name: "custom", hops: c}
+	if len(c) == 0 {
+		return Interconnect{}, fmt.Errorf("topology: CustomHops: empty matrix")
+	}
+	if err := ic.Validate(); err != nil {
+		return Interconnect{}, fmt.Errorf("topology: CustomHops: %w", err)
+	}
+	return ic, nil
+}
+
+func checkSockets(ctor string, n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("topology: %s: socket count %d must be positive", ctor, n))
+	}
+}
+
+func newHops(n int) [][]int {
+	h := make([][]int, n)
+	for i := range h {
+		h[i] = make([]int, n)
+	}
+	return h
+}

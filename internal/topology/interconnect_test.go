@@ -1,0 +1,172 @@
+package topology
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+// TestBuiltinFabricInvariants is the property test of the interconnect
+// constructors: every built-in fabric, at every size, yields a symmetric,
+// zero-diagonal, connected hop matrix (the invariants Validate checks and
+// CustomHops enforces on user matrices).
+func TestBuiltinFabricInvariants(t *testing.T) {
+	f := func(a, b uint8) bool {
+		n := 1 + int(a)%16
+		rows, cols := 1+int(a)%6, 1+int(b)%6
+		dim := int(b) % 5
+		for _, ic := range []Interconnect{
+			FullyConnected(n),
+			Ring(n),
+			Mesh2D(rows, cols),
+			Torus2D(rows, cols),
+			Hypercube(dim),
+		} {
+			if err := ic.Validate(); err != nil {
+				t.Logf("fabric %q (n=%d rows=%d cols=%d dim=%d): %v", ic.Name, n, rows, cols, dim, err)
+				return false
+			}
+			if ic.Name == "" || ic.Sockets() == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHypercube3MatchesLegacyCube3 pins the refactor's byte-compatibility
+// anchor: Hypercube(3) must equal the historical cube3 matrix — Hamming
+// distance of the 3-bit socket ids — element for element, since the
+// octo-socket machine's every simulated cost flows through it.
+func TestHypercube3MatchesLegacyCube3(t *testing.T) {
+	ic := Hypercube(3)
+	if ic.Sockets() != 8 {
+		t.Fatalf("Hypercube(3) connects %d sockets, want 8", ic.Sockets())
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			want := bits.OnesCount8(uint8(i ^ j))
+			if got := ic.Hops(SocketID(i), SocketID(j)); got != want {
+				t.Errorf("Hops(%d,%d) = %d, want Hamming distance %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestFabricShapes(t *testing.T) {
+	ring := Ring(6)
+	if ring.Hops(0, 3) != 3 || ring.Hops(0, 5) != 1 || ring.Hops(1, 4) != 3 {
+		t.Error("ring distances are not shortest-path ring distances")
+	}
+	mesh := Mesh2D(2, 3)
+	if mesh.Hops(0, 5) != 3 { // (0,0) -> (1,2): Manhattan 1+2
+		t.Errorf("mesh Hops(0,5) = %d, want 3", mesh.Hops(0, 5))
+	}
+	torus := Torus2D(3, 3)
+	if torus.Hops(0, 8) != 2 { // (0,0) -> (2,2) wraps both axes
+		t.Errorf("torus Hops(0,8) = %d, want 2", torus.Hops(0, 8))
+	}
+	if full := FullyConnected(5); full.MeanHops() != 1 {
+		t.Errorf("fully-connected mean hops = %v, want 1", full.MeanHops())
+	}
+	// Mean hops of Ring(16): sum over i<j of min(d, 16-d) = 512/15? No:
+	// per socket the distances to the others sum to 2*(1+..+7)+8 = 64;
+	// over 16*15/2 = 120 distinct pairs that is 16*64/2 = 512, mean 4.2667.
+	if mh := Ring(16).MeanHops(); mh < 4.26 || mh > 4.27 {
+		t.Errorf("Ring(16) mean hops = %v, want ~4.267", mh)
+	}
+}
+
+func TestCustomHopsValidation(t *testing.T) {
+	bad := [][][]int{
+		{},                          // empty
+		{{0, 1}, {1}},               // ragged
+		{{0, 1, 1}, {1, 0, 1}, {1}}, // ragged later row, read by the symmetry pass
+		{{1, 1}, {1, 0}},            // nonzero diagonal
+		{{0, 1}, {2, 0}},            // asymmetric
+		{{0, 0}, {0, 0}},            // disconnected pair
+		{{0, 1, 1}, {1, 0, 1}},      // non-square
+		{{0, -1}, {-1, 0}},          // negative hops
+	}
+	for i, m := range bad {
+		if _, err := CustomHops(m); err == nil {
+			t.Errorf("case %d: CustomHops accepted invalid matrix %v", i, m)
+		}
+	}
+
+	src := [][]int{{0, 2}, {2, 0}}
+	ic, err := CustomHops(src)
+	if err != nil {
+		t.Fatalf("CustomHops rejected a valid matrix: %v", err)
+	}
+	if ic.Name != "custom" || ic.Hops(0, 1) != 2 {
+		t.Errorf("custom fabric = %q, Hops(0,1) = %d", ic.Name, ic.Hops(0, 1))
+	}
+	// The input is deep-copied: mutating it must not reach the fabric.
+	src[0][1] = 99
+	if ic.Hops(0, 1) != 2 {
+		t.Error("CustomHops aliases the caller's matrix")
+	}
+	m := ic.Matrix()
+	m[0][1] = 77
+	if ic.Hops(0, 1) != 2 {
+		t.Error("Matrix aliases the fabric's storage")
+	}
+}
+
+// TestLatencyScaleOneIsIdentity pins the LatencyScale contract's identity
+// half: a machine with LatencyScale 1 is bit-identical to the unscaled
+// (zero-value) machine in every distance-dependent cost, over every core
+// pair and DRAM home. The golden fingerprints depend on this: the refactor
+// moved where hop counts live, never their values.
+func TestLatencyScaleOneIsIdentity(t *testing.T) {
+	for _, build := range []func() *Machine{QuadSocket, OctoSocket} {
+		base, scaled := build(), build()
+		scaled.LatencyScale = 1
+		for _, a := range base.AllCores() {
+			for _, b := range base.AllCores() {
+				if base.TransferCost(a, b) != scaled.TransferCost(a, b) {
+					t.Fatalf("%s: TransferCost(%d,%d) differs under LatencyScale 1", base.Name, a, b)
+				}
+			}
+			for s := SocketID(0); int(s) < base.SocketCount; s++ {
+				if base.DRAMCost(a, s) != scaled.DRAMCost(a, s) {
+					t.Fatalf("%s: DRAMCost(%d,%d) differs under LatencyScale 1", base.Name, a, s)
+				}
+			}
+		}
+		if base.ScaleCross(12345) != 12345 || scaled.ScaleCross(12345) != 12345 {
+			t.Errorf("%s: ScaleCross not the identity at scale 0/1", base.Name)
+		}
+	}
+}
+
+// TestLatencyScaleCrossTermsOnly pins the contract's scaling half: the
+// knob multiplies cross-socket terms (C2C transfers across the fabric,
+// remote DRAM) and leaves every same-socket cost untouched.
+func TestLatencyScaleCrossTermsOnly(t *testing.T) {
+	m := OctoSocket()
+	m.LatencyScale = 2
+	base := OctoSocket()
+
+	if m.TransferCost(0, 0) != base.TransferCost(0, 0) || m.TransferCost(0, 1) != base.TransferCost(0, 1) {
+		t.Error("same-core/same-socket transfer scaled")
+	}
+	if m.DRAMCost(0, 0) != base.DRAMCost(0, 0) {
+		t.Error("local DRAM scaled")
+	}
+	if got, want := m.TransferCost(0, 10), 2*base.TransferCost(0, 10); got != want {
+		t.Errorf("1-hop transfer at scale 2 = %v, want %v", got, want)
+	}
+	if got, want := m.DRAMCost(0, 7), 2*base.DRAMCost(0, 7); got != want {
+		t.Errorf("3-hop remote DRAM at scale 2 = %v, want %v", got, want)
+	}
+	half := OctoSocket()
+	half.LatencyScale = 0.5
+	if got := half.CrossC2C(3); got >= base.CrossC2C(3) {
+		t.Errorf("CrossC2C at scale 0.5 = %v, not below %v", got, base.CrossC2C(3))
+	}
+}

@@ -8,6 +8,7 @@ package topology
 
 import (
 	"fmt"
+	"math"
 
 	"islands/internal/sim"
 )
@@ -51,9 +52,19 @@ type Machine struct {
 
 	Lat Latencies
 
-	// hops[a][b] is the number of interconnect hops between sockets a and b
-	// (0 on the diagonal).
-	hops [][]int
+	// Interconnect is the socket fabric: the named hop matrix every
+	// distance-dependent cost (cache-to-cache transfers, remote DRAM, IPC
+	// wire latency) is computed over.
+	Interconnect Interconnect
+
+	// LatencyScale multiplies every cross-socket latency term — the
+	// C2CCrossBase/PerHop and DRAMRemoteBase/PerHop contributions here and
+	// the IPC layer's cross-socket wire costs (all routed through
+	// ScaleCross) — leaving same-socket terms untouched. 0 and 1 both mean
+	// unscaled; 0.5 asks the paper's what-if question "what if the
+	// interconnect were twice as fast?" with one knob instead of five
+	// hand-edited parameters.
+	LatencyScale float64
 }
 
 // NumCores returns the total number of cores.
@@ -83,7 +94,26 @@ func (m *Machine) AllCores() []CoreID {
 }
 
 // Hops returns interconnect hops between two sockets (0 if equal).
-func (m *Machine) Hops(a, b SocketID) int { return m.hops[a][b] }
+func (m *Machine) Hops(a, b SocketID) int { return m.Interconnect.Hops(a, b) }
+
+// ScaleCross applies the machine's LatencyScale to a cross-socket latency
+// term. Every consumer of cross-socket distance (TransferCost, DRAMCost,
+// the MESI model's remote fetches, the IPC wire) routes its cross-socket
+// cost through here, so scaling the interconnect is one parameter.
+func (m *Machine) ScaleCross(t sim.Time) sim.Time {
+	s := m.LatencyScale
+	if s == 0 || s == 1 {
+		return t
+	}
+	return sim.Time(math.Round(float64(t) * s))
+}
+
+// CrossC2C returns the scaled cost of a cache-to-cache transfer that
+// crosses h interconnect hops (h >= 1): the first hop at C2CCrossBase,
+// each additional at C2CCrossPerHop, scaled by LatencyScale.
+func (m *Machine) CrossC2C(h int) sim.Time {
+	return m.ScaleCross(m.Lat.C2CCrossBase + sim.Time(h-1)*m.Lat.C2CCrossPerHop)
+}
 
 // SameSocket reports whether two cores share a socket.
 func (m *Machine) SameSocket(a, b CoreID) bool { return m.SocketOf(a) == m.SocketOf(b) }
@@ -99,8 +129,7 @@ func (m *Machine) TransferCost(from, to CoreID) sim.Time {
 	if sa == sb {
 		return m.Lat.C2CSameSocket
 	}
-	h := m.Hops(sa, sb)
-	return m.Lat.C2CCrossBase + sim.Time(h-1)*m.Lat.C2CCrossPerHop
+	return m.CrossC2C(m.Hops(sa, sb))
 }
 
 // DRAMCost returns the latency for core c to load a line homed on socket
@@ -111,24 +140,12 @@ func (m *Machine) DRAMCost(c CoreID, home SocketID) sim.Time {
 		return m.Lat.DRAMLocal
 	}
 	h := m.Hops(s, home)
-	return m.Lat.DRAMRemoteBase + sim.Time(h-1)*m.Lat.DRAMRemotePerHop
+	return m.ScaleCross(m.Lat.DRAMRemoteBase + sim.Time(h-1)*m.Lat.DRAMRemotePerHop)
 }
 
 // MeanHops returns the average hop count over distinct socket pairs — a
 // measure of interconnect diameter used in reporting.
-func (m *Machine) MeanHops() float64 {
-	total, n := 0, 0
-	for a := 0; a < m.SocketCount; a++ {
-		for b := a + 1; b < m.SocketCount; b++ {
-			total += m.hops[a][b]
-			n++
-		}
-	}
-	if n == 0 {
-		return 0
-	}
-	return float64(total) / float64(n)
-}
+func (m *Machine) MeanHops() float64 { return m.Interconnect.MeanHops() }
 
 func (m *Machine) String() string {
 	return fmt.Sprintf("%s: %d sockets x %d cores @ %.2f GHz, %d MB LLC/socket",
@@ -152,40 +169,6 @@ func defaultLatencies() Latencies {
 	}
 }
 
-// fullyConnected builds a hop matrix where every socket pair is one hop.
-func fullyConnected(n int) [][]int {
-	h := make([][]int, n)
-	for i := range h {
-		h[i] = make([]int, n)
-		for j := range h[i] {
-			if i != j {
-				h[i][j] = 1
-			}
-		}
-	}
-	return h
-}
-
-// cube3 builds the hop matrix of an 8-socket machine with 3 QPI links per
-// CPU arranged as a 3-cube: hops = Hamming distance of the 3-bit socket ids
-// (1..3), matching the Supermicro X8OBN board referenced by the paper.
-func cube3() [][]int {
-	h := make([][]int, 8)
-	for i := range h {
-		h[i] = make([]int, 8)
-		for j := range h[i] {
-			x := i ^ j
-			d := 0
-			for x != 0 {
-				d += x & 1
-				x >>= 1
-			}
-			h[i][j] = d
-		}
-	}
-	return h
-}
-
 // QuadSocket models the paper's 4 x Intel Xeon E7530 server: 4 sockets,
 // 6 cores each, fully connected with QPI, 64 GB RAM, 12 MB L3 per socket.
 func QuadSocket() *Machine {
@@ -199,13 +182,14 @@ func QuadSocket() *Machine {
 		LLCBytes:       12 << 20,
 		RAMBytes:       64 << 30,
 		Lat:            defaultLatencies(),
-		hops:           fullyConnected(4),
+		Interconnect:   FullyConnected(4),
 	}
 }
 
 // OctoSocket models the paper's 8 x Intel Xeon E7-L8867 server: 8 sockets,
-// 10 cores each, 3 QPI links per CPU (so some socket pairs are multiple
-// hops), 192 GB RAM, 30 MB L3 per socket.
+// 10 cores each, 3 QPI links per CPU arranged as a 3-cube (so some socket
+// pairs are multiple hops; Supermicro X8OBN), 192 GB RAM, 30 MB L3 per
+// socket.
 func OctoSocket() *Machine {
 	return &Machine{
 		Name:           "octo-socket",
@@ -217,7 +201,7 @@ func OctoSocket() *Machine {
 		LLCBytes:       30 << 20,
 		RAMBytes:       192 << 30,
 		Lat:            defaultLatencies(),
-		hops:           cube3(),
+		Interconnect:   Hypercube(3),
 	}
 }
 
@@ -234,6 +218,6 @@ func Custom(name string, sockets, coresPerSocket int, llcBytes int64) *Machine {
 		LLCBytes:       llcBytes,
 		RAMBytes:       64 << 30,
 		Lat:            defaultLatencies(),
-		hops:           fullyConnected(sockets),
+		Interconnect:   FullyConnected(sockets),
 	}
 }

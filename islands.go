@@ -8,7 +8,10 @@
 //
 // The public API re-exports the building blocks a downstream user needs:
 //
-//   - machines: QuadSocket, OctoSocket, Custom (hardware topology models);
+//   - machines: QuadSocket, OctoSocket, Custom (hardware topology models),
+//     with first-class socket fabrics (Interconnect: FullyConnected, Ring,
+//     Mesh2D, Torus2D, Hypercube, CustomHops) and a LatencyScale knob that
+//     answers "what if the interconnect were 2x faster?" as one parameter;
 //   - deployments: Config/NewDeployment build N range-partitioned engine
 //     instances placed as islands (or deliberately spread), Run measures
 //     throughput and breakdowns over simulated time;
@@ -25,7 +28,8 @@
 //     MicroCell, TPCCCell and ScalarCell build cells from specs, Grid
 //     enumerates cross products, Study.Seeds replicates every cell over N
 //     seeds and reports mean ±σ columns, and Geometry/Machines sweep
-//     hypothetical machine geometries. Study.Run executes on the
+//     hypothetical machine geometries (Interconnects and LatencyScales fan
+//     a geometry across fabrics and wire speeds). Study.Run executes on the
 //     deterministic parallel executor: results are bit-identical at every
 //     Parallel setting.
 //
@@ -66,6 +70,31 @@ var (
 func CustomMachine(name string, sockets, coresPerSocket int, llcBytes int64) *Machine {
 	return topology.Custom(name, sockets, coresPerSocket, llcBytes)
 }
+
+// Interconnect is a socket fabric: a named, validated matrix of
+// interconnect hop counts between every socket pair. Machines expose
+// theirs as Machine.Interconnect; Geometry sweeps them.
+type Interconnect = topology.Interconnect
+
+// Interconnect constructors: the paper's two fabrics (FullyConnected is
+// the quad-socket testbed, Hypercube(3) the octo-socket's 3 QPI links per
+// CPU) plus the what-if shapes the testbed never had.
+var (
+	FullyConnected = topology.FullyConnected
+	Ring           = topology.Ring
+	Hypercube      = topology.Hypercube
+)
+
+// Mesh2D builds a rows x cols grid fabric; hops are Manhattan distances.
+func Mesh2D(rows, cols int) Interconnect { return topology.Mesh2D(rows, cols) }
+
+// Torus2D is Mesh2D with wrap-around links in both dimensions.
+func Torus2D(rows, cols int) Interconnect { return topology.Torus2D(rows, cols) }
+
+// CustomHops builds a fabric from a user-supplied hop matrix, rejecting
+// matrices that are asymmetric, have a nonzero diagonal, or leave socket
+// pairs disconnected.
+func CustomHops(hops [][]int) (Interconnect, error) { return topology.CustomHops(hops) }
 
 // Config describes a deployment: machine, instance count, placement, data.
 type Config = core.Config
@@ -257,15 +286,6 @@ func RunExperiment(id string, opt ExperimentOptions) (*ExperimentResult, error) 
 	return res, nil
 }
 
-// RunExperimentOK is the historical bool-returning form.
-//
-// Deprecated: use RunExperiment, whose error names the valid ids. This
-// shim will be removed one release after the study API's introduction.
-func RunExperimentOK(id string, opt ExperimentOptions) (*ExperimentResult, bool) {
-	res, err := RunExperiment(id, opt)
-	return res, err == nil
-}
-
 // Study is a named, composable grid of measurement cells plus the result
 // tables they fill — the declarative carrier behind every registered
 // experiment, now buildable by library users. Construct one directly
@@ -338,6 +358,21 @@ func Grid(build func(idx []int) Cell, lens ...int) []Cell {
 // the Machine field of MicroCellSpec/TPCCCellSpec: a geometry sweep is a
 // list of constructors.
 func Machines(geos ...Geometry) []func() *Machine { return harness.Machines(geos...) }
+
+// Interconnects fans a base geometry across socket fabrics: one Geometry
+// per fabric, keeping every other knob. Compose with Machines/Grid/Seeds
+// like any geometry list.
+func Interconnects(base Geometry, fabrics ...Interconnect) []Geometry {
+	return harness.Interconnects(base, fabrics...)
+}
+
+// LatencyScales fans a base geometry across interconnect latency scales
+// (0.5 = an interconnect twice as fast, 2 = twice as slow), keeping every
+// other knob — the paper's "what if the interconnect were faster" question
+// as one sweep axis.
+func LatencyScales(base Geometry, scales ...float64) []Geometry {
+	return harness.LatencyScales(base, scales...)
+}
 
 // TPSEmit emits a cell's throughput in KTps at the given coordinates.
 func TPSEmit(table, row, col int) Emit { return harness.TPSEmit(table, row, col) }

@@ -142,13 +142,55 @@ func TestExperimentsRegistryViaFacade(t *testing.T) {
 	if len(islands.ExperimentIDs()) != len(islands.Experiments()) {
 		t.Error("ExperimentIDs and Experiments disagree")
 	}
+}
 
-	// The deprecated bool-returning shim still works for one release.
-	if res, ok := islands.RunExperimentOK("fig6", islands.ExperimentOptions{Quick: true, Seed: 1}); !ok || res == nil {
-		t.Error("RunExperimentOK rejected a valid id")
+// TestPublicAPIInterconnectRoundTrip pins the acceptance criterion of the
+// interconnect refactor: a Geometry carrying a fabric and a latency scale
+// round-trips through the public API into a machine model — without
+// touching internal/ — and both knobs are observable in the machine's
+// costs.
+func TestPublicAPIInterconnectRoundTrip(t *testing.T) {
+	geo := islands.Geometry{Sockets: 8, CoresPerSocket: 2, Interconnect: islands.Ring(8), LatencyScale: 0.5}
+	m := geo.Machine()
+	if m.Interconnect.Name != "ring" || m.MeanHops() <= 1 {
+		t.Fatalf("interconnect not honored: %q, mean hops %v", m.Interconnect.Name, m.MeanHops())
 	}
-	if _, ok := islands.RunExperimentOK("nope", islands.ExperimentOptions{}); ok {
-		t.Error("RunExperimentOK accepted an unknown id")
+	if m.Hops(0, 4) != 4 || m.Hops(0, 7) != 1 {
+		t.Errorf("ring hops wrong: Hops(0,4)=%d Hops(0,7)=%d", m.Hops(0, 4), m.Hops(0, 7))
+	}
+	unscaled := islands.Geometry{Sockets: 8, CoresPerSocket: 2, Interconnect: islands.Ring(8)}.Machine()
+	far := islands.CoreID(unscaled.NumCores() - 1)
+	if got, want := m.TransferCost(0, far), unscaled.TransferCost(0, far); got >= want {
+		t.Errorf("LatencyScale 0.5 did not cut the cross-socket transfer: %v vs %v", got, want)
+	}
+	if m.TransferCost(0, 1) != unscaled.TransferCost(0, 1) {
+		t.Error("LatencyScale touched a same-socket transfer")
+	}
+
+	// The sweep helpers fan a base geometry without losing distinguishable
+	// labels, ready for Machines/Grid/Seeds composition.
+	fabrics := islands.Interconnects(geo, islands.FullyConnected(8), islands.Mesh2D(2, 4), islands.Torus2D(2, 4))
+	scales := islands.LatencyScales(geo, 0.5, 1, 2)
+	if len(fabrics) != 3 || len(scales) != 3 {
+		t.Fatalf("sweep helpers built %d/%d geometries", len(fabrics), len(scales))
+	}
+	seen := map[string]bool{}
+	for _, g := range append(fabrics, scales...) {
+		if seen[g.Label()] {
+			t.Errorf("duplicate sweep label %q", g.Label())
+		}
+		seen[g.Label()] = true
+		if g.Machine().NumCores() != 16 {
+			t.Errorf("sweep variant %q lost the base geometry", g.Label())
+		}
+	}
+
+	if _, err := islands.CustomHops([][]int{{0, 1}, {2, 0}}); err == nil {
+		t.Error("CustomHops accepted an asymmetric matrix")
+	}
+	ic, err := islands.CustomHops([][]int{{0, 2}, {2, 0}})
+	if err != nil || ic.Hops(0, 1) != 2 {
+		t.Errorf("CustomHops rejected a valid matrix: %v", err)
 	}
 }
 
