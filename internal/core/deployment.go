@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"islands/internal/engine"
+	"islands/internal/fault"
 	"islands/internal/ipc"
 	"islands/internal/mem"
 	"islands/internal/sim"
@@ -99,6 +100,13 @@ type Config struct {
 	// full prepare/commit rounds (ablation of the read-only optimization).
 	DisableReadOnlyVote bool
 
+	// Faults schedules deterministic fault injection (island crashes,
+	// degraded links, message drops, WAL stalls) on the deployment. nil —
+	// the default — leaves every code path exactly as a healthy run; a
+	// plan with crash events forces Wal.Retain so recovery has a log to
+	// replay. See the fault package for the determinism contract.
+	Faults *fault.Plan
+
 	Seed int64
 }
 
@@ -125,6 +133,9 @@ type Deployment struct {
 	Instances []*engine.Instance
 	Disk      *storage.Disk
 
+	// Injector drives the deployment's fault plan; nil for healthy runs.
+	Injector *fault.Injector
+
 	tsCounter uint64
 	started   bool
 }
@@ -136,6 +147,11 @@ func NewDeployment(cfg Config) *Deployment {
 	}
 	if cfg.Wal.FlushLatency == 0 {
 		cfg.Wal = wal.DefaultOptions()
+	}
+	if cfg.Faults != nil && cfg.Faults.HasCrash() {
+		// Crash recovery replays the retained log; without it a restarted
+		// instance would come back empty.
+		cfg.Wal.Retain = true
 	}
 	k := sim.NewKernel()
 	model := mem.NewModel(cfg.Machine)
@@ -193,12 +209,61 @@ func NewDeployment(cfg Config) *Deployment {
 	for _, in := range d.Instances {
 		in.Connect(d.Instances)
 	}
+	if cfg.Faults != nil {
+		d.wireFaults(parts)
+	}
 	if cfg.Prewarm {
 		for _, in := range d.Instances {
 			in.BufferPool().Prewarm(8)
 		}
 	}
 	return d
+}
+
+// wireFaults connects the fault injector to the deployment: the network
+// consults it on every delivery (keyed by the sending and receiving cores'
+// islands), and its crash events drive the instance crash/recover/reopen
+// lifecycle. Fault injection consumes RNG state only inside drop windows,
+// so a plan without drops perturbs nothing stochastic.
+func (d *Deployment) wireFaults(parts [][]topology.CoreID) {
+	inj, err := fault.NewInjector(d.Kernel, len(d.Instances), d.Cfg.Seed+0x0F, d.Cfg.Faults)
+	if err != nil {
+		panic("core: invalid fault plan: " + err.Error())
+	}
+	d.Injector = inj
+
+	// Map each core to the island (instance) it belongs to; cores outside
+	// every instance never originate or receive engine messages.
+	coreIsland := make([]int, len(d.Cfg.Machine.AllCores()))
+	for i := range coreIsland {
+		coreIsland[i] = -1
+	}
+	for i, cores := range parts {
+		for _, c := range cores {
+			coreIsland[c] = i
+		}
+	}
+	d.Net.SetFault(func(from, to topology.CoreID) (bool, float64) {
+		fi, ti := -1, -1
+		if int(from) < len(coreIsland) {
+			fi = coreIsland[from]
+		}
+		if int(to) < len(coreIsland) {
+			ti = coreIsland[to]
+		}
+		if fi < 0 || ti < 0 {
+			return false, 1
+		}
+		return inj.Deliver(fi, ti)
+	})
+
+	inj.OnCrash = func(i int) { d.Instances[i].Crash() }
+	inj.OnRestore = func(i int) sim.Time { return d.Instances[i].Restore() }
+	inj.OnUp = func(i int) { d.Instances[i].Reopen() }
+	inj.OnWALStall = func(i int, extra sim.Time) { d.Instances[i].Wal().SetExtraFlushLatency(extra) }
+	for _, in := range d.Instances {
+		in.EnableFaultMode()
+	}
 }
 
 // placeInstances derives per-instance core lists from the placement kind.

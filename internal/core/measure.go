@@ -24,6 +24,13 @@ type Snapshot struct {
 	SubWork     uint64
 	Prepares    uint64
 	PerInstance []uint64 // committed per instance
+
+	// Fault-injection counters (all zero in healthy runs).
+	Crashes       uint64
+	TimeoutAborts uint64
+	Expired       uint64
+	Dropped       uint64
+	DownTime      sim.Time // cumulative instance outage, summed over instances
 }
 
 func (d *Deployment) snapshot() Snapshot {
@@ -39,10 +46,17 @@ func (d *Deployment) snapshot() Snapshot {
 		s.SubWork += st.SubWork
 		s.Prepares += st.Prepares
 		s.PerInstance = append(s.PerInstance, st.Committed)
+		s.Crashes += st.Crashes
+		s.TimeoutAborts += st.TimeoutAborts
+		s.Expired += st.Expired
 	}
 	s.Mem = d.Model.TotalStats(nil)
 	s.Msgs = d.Net.Messages
 	s.CrossMsgs = d.Net.CrossSocket
+	s.Dropped = d.Net.Dropped
+	if d.Injector != nil {
+		s.DownTime = d.Injector.DownTime()
+	}
 	return s
 }
 
@@ -60,6 +74,11 @@ type Measurement struct {
 	StallFrac    float64 // fraction of cycles stalled on memory
 	LLCShareFrac float64 // fraction of cycles moving lines between cores of a socket
 	QPIPerIMC    float64 // interconnect bytes / memory-controller bytes
+
+	// Availability is the fraction of instance-time the deployment's
+	// instances were up during the window: 1 when healthy, dipping toward
+	// (n-1)/n while one of n islands is down. Always 1 without faults.
+	Availability float64
 }
 
 // Run executes a warmup, then measures a window and returns the delta.
@@ -107,6 +126,15 @@ func diff(a, b Snapshot, window sim.Time, d *Deployment) Measurement {
 	for i := range b.PerInstance {
 		m.PerInstance[i] = b.PerInstance[i] - a.PerInstance[i]
 	}
+	m.Crashes = b.Crashes - a.Crashes
+	m.TimeoutAborts = b.TimeoutAborts - a.TimeoutAborts
+	m.Expired = b.Expired - a.Expired
+	m.Dropped = b.Dropped - a.Dropped
+	m.DownTime = b.DownTime - a.DownTime
+	m.Availability = 1
+	if n := len(d.Instances); n > 0 && window > 0 {
+		m.Availability = 1 - float64(m.DownTime)/(float64(n)*float64(window))
+	}
 
 	if window > 0 {
 		m.ThroughputTPS = float64(m.Committed) / window.Seconds()
@@ -133,6 +161,27 @@ func diff(a, b Snapshot, window sim.Time, d *Deployment) Measurement {
 		m.QPIPerIMC = float64(m.Mem.QPIBytes) / float64(m.Mem.IMCBytes)
 	}
 	return m
+}
+
+// RunWindows executes a warmup and then n consecutive windows of the given
+// width, returning one Measurement per window. The series view is what
+// fault experiments need: a crash shows up as a throughput dip and an
+// availability drop in the windows it spans, and recovery as the climb
+// back. Call Start first.
+func (d *Deployment) RunWindows(warmup, window sim.Time, n int) []Measurement {
+	if !d.started {
+		panic("core: RunWindows before Start")
+	}
+	d.Kernel.RunFor(warmup)
+	out := make([]Measurement, 0, n)
+	before := d.snapshot()
+	for i := 0; i < n; i++ {
+		d.Kernel.RunFor(window)
+		after := d.snapshot()
+		out = append(out, diff(before, after, window, d))
+		before = after
+	}
+	return out
 }
 
 // CostPerTxn returns the average machine time consumed per committed

@@ -77,6 +77,12 @@ type Stats struct {
 	SubReadOnly uint64 // ... that voted read-only
 	Prepares    uint64
 
+	// Fault-injection counters (all zero in healthy runs).
+	Crashes       uint64 // fail-stop crashes of this instance
+	TimeoutAborts uint64 // coordinator attempts aborted on the 2PC deadline
+	Expired       uint64 // orphaned subordinate txns GC'd by presumed abort
+	RecoveryTime  sim.Time // virtual time spent replaying the WAL after crashes
+
 	// RowsCommitted counts row-version bumps whose transactions committed
 	// on this instance: the atomicity invariant ties it to the versions
 	// readable in the data (see Instance.SumRowVersions).
@@ -120,6 +126,22 @@ type Instance struct {
 	serial  *execToken // non-nil under SerialExecution
 	pending map[uint64]*Txn
 	opts    Options
+
+	// disk and bpPages are kept so Restore can rebuild the volatile state
+	// (buffer pool, page store) a crash destroys.
+	disk    *storage.Disk
+	bpPages int
+
+	// Fault-mode state. faulty is set once by the deployment when a fault
+	// plan is present; it gates every timing change (deadline sentinels,
+	// filtered collection loops) so healthy runs stay bit-identical. epoch
+	// counts crashes: a thread that blocked before a crash compares the
+	// epoch it started under against the current one and abandons the
+	// attempt instead of touching the rebuilt state.
+	faulty      bool
+	down        bool
+	epoch       uint32
+	downWaiters []*sim.Proc
 
 	// scratch stages one row image for synchronous use (synthesize-then-
 	// insert); it must never be held across an operation that consumes
@@ -191,15 +213,15 @@ func NewInstance(k *sim.Kernel, topo *topology.Machine, model *mem.Model,
 		totalBytes += def.Bytes()
 	}
 
-	disk := opts.Disk
-	if disk == nil {
-		disk = storage.MMapDisk()
+	in.disk = opts.Disk
+	if in.disk == nil {
+		in.disk = storage.MMapDisk()
 	}
-	bpPages := opts.BufferPoolPages
-	if bpPages <= 0 {
-		bpPages = int(totalPages) + 64
+	in.bpPages = opts.BufferPoolPages
+	if in.bpPages <= 0 {
+		in.bpPages = int(totalPages) + 64
 	}
-	in.bp = storage.NewBufferPool(in.store, disk, bpPages)
+	in.bp = storage.NewBufferPool(in.store, in.disk, in.bpPages)
 	in.wal = wal.NewManager(k, opts.Wal)
 	in.locks = lock.NewManager(opts.Locking)
 
@@ -331,6 +353,9 @@ func (in *Instance) workerLoop(p *sim.Proc, i int, src RequestSource) {
 	reply := in.net.NewEndpoint(ctx.Core)
 	for {
 		req := src.Next(in.ID, i)
+		if in.faulty && in.down {
+			in.waitUp(ctx) // crashed: the request waits out the outage
+		}
 		ctx.Schedule()
 		prev := ctx.Bucket(exec.BXct)
 		ctx.Charge(CostDispatch)
@@ -347,6 +372,10 @@ func (in *Instance) serviceLoop(p *sim.Proc, i int) {
 	for {
 		ctx.Schedule()
 		m := in.workQ.RecvIdle(ctx) // wait is idle, not txn cost
+		if in.faulty && in.down {
+			ctx.Deschedule()
+			continue // crashed: drop in-flight traffic on the floor
+		}
 		in.handleWork(ctx, m)
 		ctx.Deschedule()
 	}
@@ -357,6 +386,10 @@ func (in *Instance) ctrlLoop(p *sim.Proc, i int) {
 	for {
 		ctx.Schedule()
 		m := in.ctrlQ.RecvIdle(ctx)
+		if in.faulty && in.down {
+			ctx.Deschedule()
+			continue // crashed: drop in-flight traffic on the floor
+		}
 		in.handleCtrl(ctx, m)
 		ctx.Deschedule()
 	}

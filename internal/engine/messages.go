@@ -14,9 +14,11 @@ const (
 	msgVote                   // participant -> coordinator: 2PC vote
 	msgCommit                 // coordinator -> participant: 2PC phase 2
 	msgAbort                  // coordinator -> participant: roll back
+	msgTimeout                // coordinator -> itself: attempt deadline (fault mode)
+	msgExpire                 // participant -> itself: orphaned-txn GC (fault mode)
 )
 
-var msgKindNames = [...]string{"work", "reply", "prepare", "vote", "commit", "abort"}
+var msgKindNames = [...]string{"work", "reply", "prepare", "vote", "commit", "abort", "timeout", "expire"}
 
 func (k msgKind) String() string { return msgKindNames[k] }
 
@@ -33,6 +35,13 @@ type Msg struct {
 	Kind msgKind
 	From InstanceID
 	Txn  uint64 // global transaction timestamp (wait-die priority)
+
+	// Attempt is the coordinator's attempt number for Txn. Under fault
+	// injection a coordinator can time an attempt out and retry while
+	// messages of the dead attempt are still in flight; every reply, vote
+	// and decision carries the attempt so stale traffic is filtered instead
+	// of being mistaken for the live attempt. Always zero in healthy runs.
+	Attempt uint32
 
 	Ops []localOp // msgWork
 

@@ -139,3 +139,108 @@ func TestRecoverRejectsImagelessLog(t *testing.T) {
 		t.Error("expected error for log without after-images")
 	}
 }
+
+// TestRecoverErrorPaths drives Recover through every redo failure — torn
+// and truncated records, unknown tables, un-appliable images — plus the
+// benign torn-tail case, asserting the partial RecoveryReport counts.
+func TestRecoverErrorPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		log     func(def *storage.Table) []wal.Record
+		wantErr bool
+		want    RecoveryReport // compared when set (zero Analyzed = skip)
+	}{
+		{
+			// A committed update whose after-image was never retained (torn
+			// record body): redo cannot proceed.
+			name: "empty after-image",
+			log: func(def *storage.Table) []wal.Record {
+				return []wal.Record{
+					{Type: wal.RecUpdate, Txn: 1, Table: 1, Key: 5},
+					{Type: wal.RecCommit, Txn: 1},
+				}
+			},
+			wantErr: true,
+		},
+		{
+			// A truncated (partial) after-image for an existing row: the
+			// fixed-width update must reject the size mismatch.
+			name: "truncated after-image",
+			log: func(def *storage.Table) []wal.Record {
+				return []wal.Record{
+					{Type: wal.RecUpdate, Txn: 1, Table: 1, Key: 5, After: afterImage(def, 5)[:10]},
+					{Type: wal.RecCommit, Txn: 1},
+				}
+			},
+			wantErr: true,
+		},
+		{
+			// A record for a table this instance does not own.
+			name: "unknown table",
+			log: func(def *storage.Table) []wal.Record {
+				return []wal.Record{
+					{Type: wal.RecUpdate, Txn: 1, Table: 9, Key: 5, After: afterImage(def, 5)},
+					{Type: wal.RecCommit, Txn: 1},
+				}
+			},
+			wantErr: true,
+		},
+		{
+			// An insert-like redo (key beyond the loaded rows) whose image
+			// cannot possibly fit a page: the redo insert fails.
+			name: "unappliable insert image",
+			log: func(def *storage.Table) []wal.Record {
+				return []wal.Record{
+					{Type: wal.RecUpdate, Txn: 1, Table: 1, Key: 100000, After: make([]byte, storage.PageSize+1)},
+					{Type: wal.RecCommit, Txn: 1},
+				}
+			},
+			wantErr: true,
+		},
+		{
+			// A good record before the bad one: the partial report shows the
+			// progress made before the failure.
+			name: "fails after partial redo",
+			log: func(def *storage.Table) []wal.Record {
+				return []wal.Record{
+					{Type: wal.RecUpdate, Txn: 1, Table: 1, Key: 5, After: afterImage(def, 5)},
+					{Type: wal.RecCommit, Txn: 1},
+					{Type: wal.RecUpdate, Txn: 2, Table: 1, Key: 6},
+					{Type: wal.RecCommit, Txn: 2},
+				}
+			},
+			wantErr: true,
+			want:    RecoveryReport{Analyzed: 4, Redone: 1},
+		},
+		{
+			// Torn tail: the log ends mid-transaction (update without any
+			// outcome record). Not an error — the tail is a loser.
+			name: "torn tail is a loser",
+			log: func(def *storage.Table) []wal.Record {
+				return []wal.Record{
+					{Type: wal.RecUpdate, Txn: 1, Table: 1, Key: 5, After: afterImage(def, 5)},
+					{Type: wal.RecCommit, Txn: 1},
+					{Type: wal.RecUpdate, Txn: 2, Table: 1, Key: 6, After: afterImage(def, 6)},
+				}
+			},
+			want: RecoveryReport{Analyzed: 3, Redone: 1, Skipped: 1, Committed: 1, Losers: 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k := sim.NewKernel()
+			defer k.Close()
+			in := buildRetained(k, 240)
+			rep, err := in.Recover(tc.log(in.TableDef(1)))
+			if tc.wantErr && err == nil {
+				t.Fatalf("expected an error, got report %+v", rep)
+			}
+			if !tc.wantErr && err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			if tc.want.Analyzed != 0 && rep != tc.want {
+				t.Errorf("report %+v, want %+v", rep, tc.want)
+			}
+		})
+	}
+}

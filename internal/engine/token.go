@@ -97,6 +97,18 @@ func (t *execToken) ShouldDie(ts uint64) bool {
 	return false
 }
 
+// condemn wakes every queued waiter as "granted" without handing out the
+// token: the instance crashed, the token state is garbage, and the woken
+// procs bail out on their instance's epoch guard before touching anything.
+// Wake order follows queue order (deterministic).
+func (t *execToken) condemn() {
+	for _, w := range t.waiters {
+		w.granted = true
+		w.proc.Unpark()
+	}
+	t.waiters = nil
+}
+
 // Release hands the token to the longest waiter, if any. Any thread may
 // release on behalf of the owning transaction (2PC control threads do).
 func (t *execToken) Release() {

@@ -17,8 +17,9 @@ type Txn struct {
 	subordinate bool
 
 	updated    bool
-	holdsToken bool // subordinate holds the partition execution token
-	nUpdates   int  // row version bumps (atomicity accounting)
+	holdsToken bool   // subordinate holds the partition execution token
+	attempt    uint32 // coordinator attempt this subordinate part belongs to
+	nUpdates   int    // row version bumps (atomicity accounting)
 	lastLSN    wal.LSN
 	undo       []undoEntry
 

@@ -28,20 +28,22 @@ const (
 	BComm                // message send/receive and votes
 	BIO                  // buffer pool disk reads/writes
 	BSched               // waiting in the core's run queue
+	BTimeout             // coordinator timeout aborts: expired waits, cleanup, backoff
 	BIdle                // threads parked with nothing to do (not a txn cost)
 	NumBuckets
 )
 
 var bucketNames = [NumBuckets]string{
-	BExec:  "execution",
-	BXct:   "xct-mgmt",
-	BLock:  "locking",
-	BLatch: "latching",
-	BLog:   "logging",
-	BComm:  "communication",
-	BIO:    "io",
-	BSched: "scheduling",
-	BIdle:  "idle",
+	BExec:    "execution",
+	BXct:     "xct-mgmt",
+	BLock:    "locking",
+	BLatch:   "latching",
+	BLog:     "logging",
+	BComm:    "communication",
+	BIO:      "io",
+	BSched:   "scheduling",
+	BTimeout: "timeout-abort",
+	BIdle:    "idle",
 }
 
 // String returns the bucket's report label.

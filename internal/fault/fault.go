@@ -1,0 +1,313 @@
+// Package fault implements a deterministic, seed-driven fault-injection
+// subsystem for island deployments. A Plan is a list of typed fault events
+// — island crashes, degraded inter-island links, probabilistic message
+// drops, and write-ahead-log stalls — each pinned to an exact simulated
+// timestamp. An Injector arms the plan on the simulation kernel, so every
+// fault fires at precisely its declared virtual time: the same seed and the
+// same plan produce bit-identical runs, which is what lets failure
+// experiments carry golden fingerprints like every healthy experiment.
+//
+// The injector itself knows nothing about networks, logs, or engines: it
+// tracks which islands are down, which links are degraded, and the current
+// drop probability, and exposes that state through Deliver/Down plus a set
+// of callbacks (OnCrash/OnRestore/OnUp/OnWALStall) that the deployment
+// layer wires to the components that act on each fault.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"islands/internal/sim"
+)
+
+// Event is one scheduled fault. Implementations are the four typed events
+// below; When returns the simulated timestamp the event fires at.
+type Event interface {
+	When() sim.Time
+	// validate checks the event against the deployment's island count.
+	validate(islands int) error
+	// fire applies the event's onset in kernel context (it must not block).
+	fire(inj *Injector)
+}
+
+// IslandCrash kills island Island at time At: the instance loses all
+// volatile state, its messages are dropped in both directions, and after
+// DownFor it replays its WAL (the deployment charges the replay as extra
+// downtime) and reopens.
+type IslandCrash struct {
+	At      sim.Time
+	Island  int
+	DownFor sim.Time
+}
+
+// When returns the crash timestamp.
+func (e IslandCrash) When() sim.Time { return e.At }
+
+func (e IslandCrash) validate(islands int) error {
+	if e.Island < 0 || e.Island >= islands {
+		return fmt.Errorf("fault: IslandCrash island %d out of range [0,%d)", e.Island, islands)
+	}
+	if e.DownFor <= 0 {
+		return fmt.Errorf("fault: IslandCrash needs DownFor > 0, got %v", e.DownFor)
+	}
+	return nil
+}
+
+func (e IslandCrash) fire(inj *Injector) { inj.crash(e.Island, e.DownFor) }
+
+// LinkDegrade multiplies the wire latency of messages from island From to
+// island To by Factor (> 1 slows the link) for Dur starting at At. Degrade
+// both directions with two events.
+type LinkDegrade struct {
+	At       sim.Time
+	From, To int
+	Factor   float64
+	Dur      sim.Time
+}
+
+// When returns the degradation onset.
+func (e LinkDegrade) When() sim.Time { return e.At }
+
+func (e LinkDegrade) validate(islands int) error {
+	if e.From < 0 || e.From >= islands || e.To < 0 || e.To >= islands {
+		return fmt.Errorf("fault: LinkDegrade link %d->%d out of range [0,%d)", e.From, e.To, islands)
+	}
+	if e.Factor <= 0 || e.Factor != e.Factor {
+		return fmt.Errorf("fault: LinkDegrade needs Factor > 0, got %v", e.Factor)
+	}
+	if e.Dur <= 0 {
+		return fmt.Errorf("fault: LinkDegrade needs Dur > 0, got %v", e.Dur)
+	}
+	return nil
+}
+
+func (e LinkDegrade) fire(inj *Injector) {
+	inj.link[e.From][e.To] *= e.Factor
+	f := e
+	inj.k.After(e.Dur, func() { inj.link[f.From][f.To] /= f.Factor })
+}
+
+// MsgDrop drops every inter-island message independently with probability
+// Prob for Dur starting at At. Drop decisions come from the injector's
+// seeded RNG, consumed in delivery order — deterministic because the
+// kernel runs one event at a time.
+type MsgDrop struct {
+	At   sim.Time
+	Prob float64
+	Dur  sim.Time
+}
+
+// When returns the drop-window onset.
+func (e MsgDrop) When() sim.Time { return e.At }
+
+func (e MsgDrop) validate(int) error {
+	if e.Prob < 0 || e.Prob > 1 || e.Prob != e.Prob {
+		return fmt.Errorf("fault: MsgDrop needs Prob in [0,1], got %v", e.Prob)
+	}
+	if e.Dur <= 0 {
+		return fmt.Errorf("fault: MsgDrop needs Dur > 0, got %v", e.Dur)
+	}
+	return nil
+}
+
+func (e MsgDrop) fire(inj *Injector) {
+	inj.dropProb += e.Prob
+	p := e.Prob
+	inj.k.After(e.Dur, func() { inj.dropProb -= p })
+}
+
+// WALStall adds Extra to island Island's log-flush device latency for Dur
+// starting at At — a gray failure where the log device degrades without
+// the island dying.
+type WALStall struct {
+	At     sim.Time
+	Island int
+	Extra  sim.Time
+	Dur    sim.Time
+}
+
+// When returns the stall onset.
+func (e WALStall) When() sim.Time { return e.At }
+
+func (e WALStall) validate(islands int) error {
+	if e.Island < 0 || e.Island >= islands {
+		return fmt.Errorf("fault: WALStall island %d out of range [0,%d)", e.Island, islands)
+	}
+	if e.Extra <= 0 {
+		return fmt.Errorf("fault: WALStall needs Extra > 0, got %v", e.Extra)
+	}
+	if e.Dur <= 0 {
+		return fmt.Errorf("fault: WALStall needs Dur > 0, got %v", e.Dur)
+	}
+	return nil
+}
+
+func (e WALStall) fire(inj *Injector) {
+	f := e
+	inj.stall[e.Island] += e.Extra
+	if inj.OnWALStall != nil {
+		inj.OnWALStall(e.Island, inj.stall[e.Island])
+	}
+	inj.k.After(e.Dur, func() {
+		inj.stall[f.Island] -= f.Extra
+		if inj.OnWALStall != nil {
+			inj.OnWALStall(f.Island, inj.stall[f.Island])
+		}
+	})
+}
+
+// Plan is a deterministic fault schedule: typed events at exact simulated
+// timestamps.
+type Plan struct {
+	Events []Event
+}
+
+// Validate checks every event against the deployment's island count.
+func (p *Plan) Validate(islands int) error {
+	for _, e := range p.Events {
+		if e.When() < 0 {
+			return fmt.Errorf("fault: event %T scheduled at negative time %v", e, e.When())
+		}
+		if err := e.validate(islands); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HasCrash reports whether the plan contains an IslandCrash — crash plans
+// require WAL retention so the replacement instance can replay.
+func (p *Plan) HasCrash() bool {
+	for _, e := range p.Events {
+		if _, ok := e.(IslandCrash); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Injector arms a Plan on a kernel and tracks live fault state. All methods
+// run in simulation context (kernel callbacks or procs), which executes
+// strictly one event at a time — no locking, and RNG draws happen in a
+// deterministic order.
+type Injector struct {
+	k       *sim.Kernel
+	islands int
+	rng     *rand.Rand
+
+	down      []bool
+	downSince []sim.Time
+	downAcc   sim.Time // completed outage time summed over islands
+
+	link     [][]float64 // wire-latency factor per (from, to) island pair
+	stall    []sim.Time  // current extra flush latency per island
+	dropProb float64
+
+	// OnCrash fires at crash onset; OnRestore fires when DownFor elapses
+	// and returns the recovery (WAL replay) duration, which extends the
+	// outage; OnUp fires when the island reopens. OnWALStall reports the
+	// island's current total extra flush latency whenever it changes. All
+	// run in kernel context and must not block.
+	OnCrash    func(island int)
+	OnRestore  func(island int) sim.Time
+	OnUp       func(island int)
+	OnWALStall func(island int, extra sim.Time)
+
+	// Stats.
+	Crashes uint64
+	Drops   uint64
+}
+
+// NewInjector builds an injector for a deployment of `islands` instances.
+// The seed drives only MsgDrop decisions; every other event is exact.
+// The plan must already be validated.
+func NewInjector(k *sim.Kernel, islands int, seed int64, plan *Plan) (*Injector, error) {
+	if err := plan.Validate(islands); err != nil {
+		return nil, err
+	}
+	inj := &Injector{
+		k:         k,
+		islands:   islands,
+		rng:       rand.New(rand.NewSource(seed)),
+		down:      make([]bool, islands),
+		downSince: make([]sim.Time, islands),
+		stall:     make([]sim.Time, islands),
+		link:      make([][]float64, islands),
+	}
+	for i := range inj.link {
+		inj.link[i] = make([]float64, islands)
+		for j := range inj.link[i] {
+			inj.link[i][j] = 1
+		}
+	}
+	for _, e := range plan.Events {
+		e := e
+		k.After(e.When()-k.Now(), func() { e.fire(inj) })
+	}
+	return inj, nil
+}
+
+// crash marks an island down and schedules its restore. A crash of an
+// already-down island is coalesced into the existing outage.
+func (inj *Injector) crash(island int, downFor sim.Time) {
+	if inj.down[island] {
+		return
+	}
+	inj.down[island] = true
+	inj.downSince[island] = inj.k.Now()
+	inj.Crashes++
+	if inj.OnCrash != nil {
+		inj.OnCrash(island)
+	}
+	inj.k.After(downFor, func() { inj.restore(island) })
+}
+
+// restore replays the island's log (via OnRestore, which returns the replay
+// duration) and reopens it after that recovery time has passed.
+func (inj *Injector) restore(island int) {
+	var rec sim.Time
+	if inj.OnRestore != nil {
+		rec = inj.OnRestore(island)
+	}
+	inj.k.After(rec, func() {
+		inj.down[island] = false
+		inj.downAcc += inj.k.Now() - inj.downSince[island]
+		if inj.OnUp != nil {
+			inj.OnUp(island)
+		}
+	})
+}
+
+// Down reports whether an island is currently down.
+func (inj *Injector) Down(island int) bool { return inj.down[island] }
+
+// DownTime returns the cumulative outage time summed over islands,
+// including in-progress outages up to the current instant — the input to
+// windowed availability.
+func (inj *Injector) DownTime() sim.Time {
+	t := inj.downAcc
+	for i, d := range inj.down {
+		if d {
+			t += inj.k.Now() - inj.downSince[i]
+		}
+	}
+	return t
+}
+
+// Deliver decides the fate of one message from island `from` to island
+// `to`: dropped (either endpoint down, or a MsgDrop window hit) and, if
+// delivered, the factor to scale its wire latency by (link degradation).
+// The RNG is consumed only while a drop window is active, so plans without
+// MsgDrop events never touch it.
+func (inj *Injector) Deliver(from, to int) (drop bool, scale float64) {
+	if inj.down[from] || inj.down[to] {
+		inj.Drops++
+		return true, 0
+	}
+	if inj.dropProb > 0 && inj.rng.Float64() < inj.dropProb {
+		inj.Drops++
+		return true, 0
+	}
+	return false, inj.link[from][to]
+}

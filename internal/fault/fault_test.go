@@ -1,0 +1,166 @@
+package fault
+
+import (
+	"testing"
+
+	"islands/internal/sim"
+)
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+		ok   bool
+	}{
+		{"crash ok", IslandCrash{At: 1, Island: 0, DownFor: 1}, true},
+		{"crash island range", IslandCrash{At: 1, Island: 4, DownFor: 1}, false},
+		{"crash island negative", IslandCrash{At: 1, Island: -1, DownFor: 1}, false},
+		{"crash zero downfor", IslandCrash{At: 1, Island: 0}, false},
+		{"degrade ok", LinkDegrade{At: 1, From: 0, To: 3, Factor: 2, Dur: 1}, true},
+		{"degrade bad factor", LinkDegrade{At: 1, From: 0, To: 1, Factor: 0, Dur: 1}, false},
+		{"degrade bad island", LinkDegrade{At: 1, From: 0, To: 9, Factor: 2, Dur: 1}, false},
+		{"drop ok", MsgDrop{At: 1, Prob: 0.5, Dur: 1}, true},
+		{"drop bad prob", MsgDrop{At: 1, Prob: 1.5, Dur: 1}, false},
+		{"drop zero dur", MsgDrop{At: 1, Prob: 0.5}, false},
+		{"stall ok", WALStall{At: 1, Island: 2, Extra: 1, Dur: 1}, true},
+		{"stall bad island", WALStall{At: 1, Island: 7, Extra: 1, Dur: 1}, false},
+		{"negative time", IslandCrash{At: -1, Island: 0, DownFor: 1}, false},
+	}
+	for _, c := range cases {
+		p := &Plan{Events: []Event{c.ev}}
+		err := p.Validate(4)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: expected a validation error", c.name)
+		}
+	}
+}
+
+func TestHasCrash(t *testing.T) {
+	if (&Plan{Events: []Event{MsgDrop{At: 1, Prob: 0.1, Dur: 1}}}).HasCrash() {
+		t.Error("drop-only plan reports HasCrash")
+	}
+	if !(&Plan{Events: []Event{IslandCrash{At: 1, Island: 0, DownFor: 1}}}).HasCrash() {
+		t.Error("crash plan does not report HasCrash")
+	}
+}
+
+// TestCrashDownTimeAccounting pins the outage arithmetic: downtime runs
+// from the crash until DownFor plus the recovery duration returned by
+// OnRestore has elapsed.
+func TestCrashDownTimeAccounting(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	plan := &Plan{Events: []Event{
+		IslandCrash{At: 10 * sim.Microsecond, Island: 1, DownFor: 100 * sim.Microsecond},
+	}}
+	inj, err := NewInjector(k, 2, 1, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rec = 40 * sim.Microsecond
+	var crashed, restored, up []sim.Time
+	inj.OnCrash = func(i int) { crashed = append(crashed, k.Now()) }
+	inj.OnRestore = func(i int) sim.Time { restored = append(restored, k.Now()); return rec }
+	inj.OnUp = func(i int) { up = append(up, k.Now()) }
+
+	k.RunFor(5 * sim.Microsecond)
+	if inj.Down(1) || inj.DownTime() != 0 {
+		t.Fatal("island down before the crash fires")
+	}
+	k.RunFor(55 * sim.Microsecond) // now at 60us: mid-outage
+	if !inj.Down(1) {
+		t.Fatal("island not down mid-outage")
+	}
+	if got, want := inj.DownTime(), 50*sim.Microsecond; got != want {
+		t.Fatalf("mid-outage DownTime = %v, want %v", got, want)
+	}
+	k.RunFor(200 * sim.Microsecond)
+	if inj.Down(1) {
+		t.Fatal("island still down after restore")
+	}
+	if got, want := inj.DownTime(), 100*sim.Microsecond+rec; got != want {
+		t.Fatalf("final DownTime = %v, want %v", got, want)
+	}
+	if len(crashed) != 1 || crashed[0] != 10*sim.Microsecond {
+		t.Errorf("OnCrash times = %v", crashed)
+	}
+	if len(restored) != 1 || restored[0] != 110*sim.Microsecond {
+		t.Errorf("OnRestore times = %v", restored)
+	}
+	if len(up) != 1 || up[0] != 150*sim.Microsecond {
+		t.Errorf("OnUp times = %v", up)
+	}
+	if inj.Crashes != 1 {
+		t.Errorf("Crashes = %d", inj.Crashes)
+	}
+}
+
+// TestDeliverDeterminism pins the delivery rules: down islands drop without
+// consuming randomness, drop windows consume the seeded RNG in call order,
+// and link factors scale healthy deliveries.
+func TestDeliverDeterminism(t *testing.T) {
+	run := func() []bool {
+		k := sim.NewKernel()
+		defer k.Close()
+		plan := &Plan{Events: []Event{MsgDrop{At: 1, Prob: 0.5, Dur: 1000}}}
+		inj, err := NewInjector(k, 2, 42, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.RunFor(10)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i], _ = inj.Deliver(0, 1)
+		}
+		return out
+	}
+	a, b := run(), run()
+	drops := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d differs across identical runs", i)
+		}
+		if a[i] {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(a) {
+		t.Errorf("drop sequence degenerate: %d/%d dropped", drops, len(a))
+	}
+}
+
+func TestDeliverDownAndDegraded(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	plan := &Plan{Events: []Event{
+		IslandCrash{At: 1, Island: 0, DownFor: 1000},
+		LinkDegrade{At: 1, From: 1, To: 2, Factor: 3, Dur: 1000},
+	}}
+	inj, err := NewInjector(k, 3, 1, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(10)
+	if drop, _ := inj.Deliver(0, 1); !drop {
+		t.Error("message from a down island not dropped")
+	}
+	if drop, _ := inj.Deliver(1, 0); !drop {
+		t.Error("message to a down island not dropped")
+	}
+	if drop, scale := inj.Deliver(1, 2); drop || scale != 3 {
+		t.Errorf("degraded link: drop=%v scale=%v, want false/3", drop, scale)
+	}
+	if drop, scale := inj.Deliver(2, 1); drop || scale != 1 {
+		t.Errorf("reverse link should be healthy: drop=%v scale=%v", drop, scale)
+	}
+	k.RunFor(2000) // degradation and outage both end
+	if drop, scale := inj.Deliver(1, 2); drop || scale != 1 {
+		t.Errorf("link still degraded after Dur: drop=%v scale=%v", drop, scale)
+	}
+	if drop, _ := inj.Deliver(0, 1); drop {
+		t.Error("island still dropping after restore")
+	}
+}

@@ -23,6 +23,10 @@ import (
 type Metrics struct {
 	M     core.Measurement
 	Value float64
+	// Series holds the per-window measurements of fault-injection cells
+	// (Deployment.RunWindows); nil for single-window cells. M then carries
+	// the whole-run aggregate.
+	Series []core.Measurement
 }
 
 // Emit wires one value of a cell's metrics to one table cell of the plan's

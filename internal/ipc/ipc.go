@@ -70,17 +70,24 @@ func CostsFor(m Mechanism) Costs {
 // kernel socket buffers copied on both sides.
 const msgBytes = 512
 
+// FaultFunc consults the fault layer about one delivery: whether the
+// message is dropped, and if not, the factor to scale its wire latency by
+// (1 = healthy). Installed with SetFault; a nil hook means no faults.
+type FaultFunc func(from, to topology.CoreID) (drop bool, scale float64)
+
 // Network connects endpoints over one mechanism on one machine.
 type Network[T any] struct {
 	k     *sim.Kernel
 	topo  *topology.Machine
 	costs Costs
 	model *mem.Model
+	fault FaultFunc
 
 	// Messages counts deliveries; CrossSocket counts those that crossed the
-	// interconnect.
+	// interconnect; Dropped counts sends the fault layer discarded.
 	Messages    uint64
 	CrossSocket uint64
+	Dropped     uint64
 }
 
 // NewNetwork builds a network for machine topo using mechanism m.
@@ -92,6 +99,10 @@ func NewNetwork[T any](k *sim.Kernel, topo *topology.Machine, m Mechanism) *Netw
 // accounting (messages between processes cross the memory system, which the
 // paper's QPI/IMC ratio captures).
 func (n *Network[T]) AttachModel(m *mem.Model) { n.model = m }
+
+// SetFault installs the fault-injection hook consulted on every Send.
+// With no hook (the default) delivery is exactly the healthy path.
+func (n *Network[T]) SetFault(f FaultFunc) { n.fault = f }
 
 // Costs returns the network's cost parameters.
 func (n *Network[T]) Costs() Costs { return n.costs }
@@ -146,7 +157,33 @@ func (n *Network[T]) Send(ctx *exec.Ctx, to *Endpoint[T], msg T) {
 			st.QPIBytes += msgBytes
 		}
 	}
-	to.q.PushAfter(n.wireLatency(ctx.Core, to.home), msg)
+	lat := n.wireLatency(ctx.Core, to.home)
+	if n.fault != nil {
+		// The sender already paid its CPU and memory traffic: a dropped
+		// message costs the sender everything and the receiver nothing.
+		drop, scale := n.fault(ctx.Core, to.home)
+		if drop {
+			n.Dropped++
+			return
+		}
+		if scale != 1 {
+			lat = sim.Time(float64(lat) * scale)
+		}
+	}
+	to.q.PushAfter(lat, msg)
+}
+
+// Clear discards every queued message in the endpoint's mailbox, returning
+// the count. A crashed process loses its socket buffers; the deployment
+// layer clears the instance's mailboxes when it reopens.
+func (e *Endpoint[T]) Clear() int {
+	n := 0
+	for {
+		if _, ok := e.q.TryPop(); !ok {
+			return n
+		}
+		n++
+	}
 }
 
 // Send is a convenience wrapper that sends from e's network using ctx.Core

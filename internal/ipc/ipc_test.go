@@ -159,3 +159,84 @@ func TestMechanismNames(t *testing.T) {
 		t.Error("expected 5 mechanisms")
 	}
 }
+
+// TestWokenReceiverRacesCompetingRecv pins the wake-but-empty path of the
+// mailbox: a blocked receiver is woken by a delivery, but a competing
+// receiver consumes the message before the woken proc gets to run. The
+// woken receiver must re-park (Pop's recheck loop) rather than return a
+// zero message, and must still get the next delivery.
+//
+// The interleaving is deterministic: the thief sends, then advances to the
+// exact delivery instant. Its wake event is inserted into the timeline
+// after the delivery event, so at that instant the order is: delivery
+// (Push unparks the receiver), thief (steals the message), receiver
+// (finds the mailbox empty again).
+func TestWokenReceiverRacesCompetingRecv(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		idle bool // receiver uses RecvIdle; false = Recv
+	}{
+		{"recvidle-vs-recv", true},
+		{"recv-vs-tryrecv", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			k := sim.NewKernel()
+			defer k.Close()
+			topo := topology.QuadSocket()
+			model := mem.NewModel(topo)
+			net := NewNetwork[int](k, topo, UnixSocket)
+			src := net.NewEndpoint(0)
+			dst := net.NewEndpoint(1)
+
+			var got int
+			var gotAt sim.Time
+			k.Spawn("receiver", func(p *sim.Proc) {
+				ctx := exec.New(p, 1, model, nil)
+				if tc.idle {
+					got = dst.RecvIdle(ctx)
+				} else {
+					got = dst.Recv(ctx)
+				}
+				gotAt = p.Now()
+			})
+
+			var stolen int
+			var stoleAt, secondDelivery sim.Time
+			k.Spawn("thief", func(p *sim.Proc) {
+				sctx := exec.New(p, 0, model, nil)
+				rctx := exec.New(p, 1, model, nil)
+				p.Advance(1 * sim.Microsecond) // let the receiver park
+				src.Send(sctx, dst, 1)
+				p.Advance(net.Costs().WireSameSocket) // the delivery instant
+				if tc.idle {
+					// The message is present, so Recv consumes it without
+					// blocking — ahead of the already-unparked receiver.
+					stolen = dst.Recv(rctx)
+				} else {
+					var ok bool
+					stolen, ok = dst.TryRecv(rctx)
+					if !ok {
+						t.Error("competing TryRecv found an empty mailbox at the delivery instant")
+					}
+				}
+				stoleAt = p.Now()
+				src.Send(sctx, dst, 2)
+				secondDelivery = p.Now() + net.Costs().WireSameSocket
+			})
+			k.Run()
+
+			if stolen != 1 {
+				t.Fatalf("thief consumed %d, want the first message", stolen)
+			}
+			if got != 2 {
+				t.Fatalf("woken receiver got %d, want the second message (wake-but-empty must re-park)", got)
+			}
+			if gotAt <= stoleAt {
+				t.Errorf("receiver finished at %v, not after the steal at %v", gotAt, stoleAt)
+			}
+			if gotAt < secondDelivery {
+				t.Errorf("receiver finished at %v, before the second delivery at %v", gotAt, secondDelivery)
+			}
+		})
+	}
+}

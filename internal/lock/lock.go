@@ -12,6 +12,7 @@ package lock
 
 import (
 	"errors"
+	"sort"
 
 	"islands/internal/exec"
 	"islands/internal/mem"
@@ -116,6 +117,7 @@ type waitReq struct {
 	mode    Mode
 	proc    *sim.Proc
 	granted bool
+	died    bool // condemned: the manager's instance crashed
 }
 
 type head struct {
@@ -171,6 +173,11 @@ type Manager struct {
 	free    []*ownerLocks // recycled held sets (allocation-free steady state)
 	lines   []*mem.Line   // ReleaseAll scratch
 
+	// condemned marks a manager whose instance crashed: every waiter has
+	// been aborted and every new request dies immediately. The replacement
+	// instance gets a fresh manager; this one only drains stragglers.
+	condemned bool
+
 	// Stats.
 	Acquires uint64
 	Waits    uint64
@@ -225,6 +232,10 @@ func chargeAcquire(ctx *exec.Ctx, b *bucket) {
 func (m *Manager) Acquire(ctx *exec.Ctx, owner uint64, key Key, mode Mode) error {
 	if !m.Enabled {
 		return nil
+	}
+	if m.condemned {
+		m.Dies++
+		return ErrDie
 	}
 	prev := ctx.Bucket(exec.BLock)
 	defer ctx.Bucket(prev)
@@ -293,13 +304,38 @@ func (m *Manager) Acquire(ctx *exec.Ctx, owner uint64, key Key, mode Mode) error
 	chargeAcquire(ctx, b)
 	t0 := ctx.P.Now()
 	ctx.Block(func() {
-		for !req.granted {
+		for !req.granted && !req.died {
 			ctx.P.Park()
 		}
 	})
 	m.WaitTime += ctx.P.Now() - t0
+	if req.died {
+		m.Dies++
+		return ErrDie
+	}
 	m.grant(h, owner, key, want)
 	return nil
+}
+
+// Condemn aborts every queued waiter and marks the manager dead: the
+// instance that owned it crashed, so held locks will never be released and
+// waiting on them would hang forever. Waiters wake with ErrDie in ascending
+// owner (timestamp) order — deterministic despite the bucket maps. Runs in
+// kernel context (it must not block).
+func (m *Manager) Condemn() {
+	m.condemned = true
+	var doomed []*waitReq
+	for i := range m.buckets {
+		for _, h := range m.buckets[i].heads {
+			doomed = append(doomed, h.waiters...)
+			h.waiters = nil
+		}
+	}
+	sort.Slice(doomed, func(i, j int) bool { return doomed[i].owner < doomed[j].owner })
+	for _, w := range doomed {
+		w.died = true
+		w.proc.Unpark()
+	}
 }
 
 // grantable reports whether owner can hold `mode` right now: compatible

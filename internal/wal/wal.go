@@ -111,6 +111,10 @@ type Manager struct {
 	tail    LSN // next byte to be written
 	durable LSN
 
+	// extraFlush is added to every flush batch's device latency — the
+	// fault layer's WALStall events raise and lower it.
+	extraFlush sim.Time
+
 	waiters     []flushWaiter
 	flusherIdle bool
 	flushTarget LSN
@@ -157,6 +161,11 @@ func (m *Manager) start() {
 		m.beginBatch()
 	}
 }
+
+// SetExtraFlushLatency sets the extra device latency added to every flush
+// batch from now on (0 restores the healthy device). In-flight batches keep
+// the latency they started with.
+func (m *Manager) SetExtraFlushLatency(d sim.Time) { m.extraFlush = d }
 
 // Durable returns the durable LSN.
 func (m *Manager) Durable() LSN { return m.durable }
@@ -237,7 +246,7 @@ func (m *Manager) beginBatch() {
 	} else {
 		m.flushTarget = m.waiters[0].lsn
 	}
-	m.k.After(m.opts.FlushLatency, m.completeFn)
+	m.k.After(m.opts.FlushLatency+m.extraFlush, m.completeFn)
 }
 
 // completeBatch ends the in-flight device write and immediately starts the

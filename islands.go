@@ -23,6 +23,12 @@
 //     the paper's future-work question;
 //   - experiments: Experiments/RunExperiment regenerate every table and
 //     figure of the paper;
+//   - fault injection: Config.Faults schedules a deterministic FaultPlan
+//     (IslandCrash, LinkDegrade, MsgDrop, WALStall) on the simulation
+//     kernel; Deployment.RunWindows measures per-window throughput,
+//     abort-rate and availability series, so crashes show up as a dip and
+//     recovery as the climb back — same seed, same faults, bit-identical
+//     output;
 //   - the study API: Study, Cell, Emit, Table and Metrics expose the
 //     declarative plan layer the experiments themselves are built on.
 //     MicroCell, TPCCCell and ScalarCell build cells from specs, Grid
@@ -45,6 +51,7 @@ import (
 	"islands/internal/core"
 	"islands/internal/engine"
 	"islands/internal/exec"
+	"islands/internal/fault"
 	"islands/internal/harness"
 	"islands/internal/ipc"
 	"islands/internal/sim"
@@ -231,6 +238,25 @@ func NewTPCCWorkload(cfg TPCCMixConfig, d *Deployment) RequestSource {
 	return workload.NewMix(cfg, d.Part)
 }
 
+// FaultPlan is a deterministic fault schedule for Config.Faults: typed
+// events fired at fixed virtual times by the simulation kernel. Same seed,
+// same plan: bit-identical results, including every fault's effect.
+type FaultPlan = fault.Plan
+
+// FaultEvent is one scheduled fault.
+type FaultEvent = fault.Event
+
+// Fault event types: a fail-stop island crash (volatile state lost, WAL
+// replayed on restart, recovery time charged as downtime), a one-direction
+// island-to-island link slowdown, a machine-wide message-drop window, and a
+// WAL-device stall on one island.
+type (
+	IslandCrash = fault.IslandCrash
+	LinkDegrade = fault.LinkDegrade
+	MsgDrop     = fault.MsgDrop
+	WALStall    = fault.WALStall
+)
+
 // Advice is the advisor's ranked recommendation.
 type Advice = core.Advice
 
@@ -322,6 +348,12 @@ type MicroCellSpec = harness.MicroSpec
 // probabilities, sizing.
 type TPCCCellSpec = harness.TPCCSpec
 
+// FaultCellSpec declares a fault-injection microbenchmark cell: a standard
+// deployment plus a FaultPlan builder phrased in the cell's window
+// geometry. The cell measures a window series (Metrics.Series) instead of
+// one steady-state window.
+type FaultCellSpec = harness.FaultSpec
+
 // Geometry describes a hypothetical machine for a machine-geometry sweep
 // (the knobs of CustomMachine). Its Machine method builds a fresh
 // topology model per call, as cell specs require.
@@ -340,6 +372,13 @@ func MicroCell(name string, s MicroCellSpec, emits ...Emit) Cell {
 // TPCCCell builds a TPC-C transaction-mix cell from its spec.
 func TPCCCell(name string, s TPCCCellSpec, emits ...Emit) Cell {
 	return harness.TPCCCell(name, s, emits...)
+}
+
+// FaultCell builds a fault-injection cell from its spec: it runs the
+// windowed measurement and fills Metrics.Series with the per-window
+// Measurements plus a whole-run aggregate in M.
+func FaultCell(name string, s FaultCellSpec, emits ...Emit) Cell {
+	return harness.FaultCell(name, s, emits...)
 }
 
 // ScalarCell builds a cell around a custom measurement returning one
@@ -407,4 +446,8 @@ const (
 	BucketCommunication = exec.BComm
 	BucketIO            = exec.BIO
 	BucketScheduling    = exec.BSched
+	// BucketTimeout bills fault-mode deadline handling: coordinator 2PC
+	// timeout aborts (detection, teardown, retry backoff) and participant
+	// orphan expiry. Always zero in healthy runs.
+	BucketTimeout = exec.BTimeout
 )
