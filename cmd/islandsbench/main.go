@@ -10,14 +10,28 @@
 // Each experiment prints text tables whose rows and series mirror the
 // paper's charts; EXPERIMENTS.md records how the measured shapes compare to
 // the published ones.
+//
+// -benchjson runs the sharded-kernel scaling benchmark (one full deployment
+// cell on the 64-core scaling geometry, per shard count) through
+// testing.Benchmark and writes a machine-readable BENCH_<shortrev>.json —
+// benchmark name, ns/op, allocs/op, shard count, GOMAXPROCS, and the
+// committed-transaction count whose equality across shard counts is the
+// determinism self-check. -rev overrides the `git rev-parse --short HEAD`
+// revision stamp.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
 	"time"
 
+	"islands/internal/bench"
 	"islands/internal/harness"
 )
 
@@ -25,7 +39,18 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	quick := flag.Bool("quick", false, "reduced sweeps and windows")
 	seed := flag.Int64("seed", 42, "workload and placement seed")
+	benchjson := flag.Bool("benchjson", false, "run the sharded scaling benchmark and write BENCH_<rev>.json")
+	benchout := flag.String("benchout", "", "output path for -benchjson ('-' = stdout; default BENCH_<rev>.json)")
+	rev := flag.String("rev", "", "revision stamp for -benchjson (default: git rev-parse --short HEAD)")
 	flag.Parse()
+
+	if *benchjson {
+		if err := writeBenchJSON(*benchout, *rev); err != nil {
+			fmt.Fprintf(os.Stderr, "islandsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range harness.All() {
@@ -60,4 +85,89 @@ func main() {
 		fmt.Println(res.Format())
 		fmt.Printf("   (completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// benchRecord is one benchmark point of the BENCH json.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Shards      int     `json:"shards"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// CommittedPerOp is the simulated committed-transaction count of one
+	// measurement window: identical across shard counts, or the kernel's
+	// determinism contract is broken.
+	CommittedPerOp float64 `json:"committed_per_op"`
+}
+
+// benchFile is the BENCH_<rev>.json document.
+type benchFile struct {
+	Rev        string        `json:"rev"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Geometry   string        `json:"geometry"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+// shortRev resolves the revision stamp: the explicit -rev value, then git,
+// then "unknown" (a build from a tarball still produces a usable record).
+func shortRev(explicit string) string {
+	if explicit != "" {
+		return explicit
+	}
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	if rev := strings.TrimSpace(string(out)); rev != "" {
+		return rev
+	}
+	return "unknown"
+}
+
+// writeBenchJSON sweeps BenchmarkShardedScaling's body over the shard
+// ladder via testing.Benchmark and writes the machine-readable record.
+// Progress goes to stderr; the json (path or stdout) carries only data.
+func writeBenchJSON(outPath, revFlag string) error {
+	doc := benchFile{
+		Rev:        shortRev(revFlag),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Geometry:   bench.ScalingGeometryLabel(),
+	}
+	for _, shards := range bench.ShardCounts() {
+		shards := shards
+		name := fmt.Sprintf("ShardedScaling/shards=%d", shards)
+		fmt.Fprintf(os.Stderr, "bench %s ...\n", name)
+		r := testing.Benchmark(func(b *testing.B) { bench.ShardedScaling(b, shards) })
+		doc.Benchmarks = append(doc.Benchmarks, benchRecord{
+			Name:           name,
+			Shards:         shards,
+			Iterations:     r.N,
+			NsPerOp:        float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp:    r.AllocsPerOp(),
+			CommittedPerOp: r.Extra["committed/op"],
+		})
+	}
+	for _, b := range doc.Benchmarks[1:] {
+		if b.CommittedPerOp != doc.Benchmarks[0].CommittedPerOp {
+			return fmt.Errorf("determinism check failed: %s committed %v, shards=1 committed %v",
+				b.Name, b.CommittedPerOp, doc.Benchmarks[0].CommittedPerOp)
+		}
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	if outPath == "" {
+		outPath = "BENCH_" + doc.Rev + ".json"
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+	return nil
 }

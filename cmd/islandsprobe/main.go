@@ -14,7 +14,7 @@
 //	islandsprobe -list
 //	islandsprobe [-seed N] [-experiments | -only fig2,fig9,...] [-full]
 //	             [-seeds N] [-geometry S:C:LLC[:fabric],...] [-latscale 0.5,1,2]
-//	             [-parallel N] [-progress] [-celltimes]
+//	             [-parallel N] [-shards N] [-progress] [-celltimes] [-baseline FILE]
 //
 // -seeds N replicates every cell of the selected experiments over N seeds
 // through the study API's Seeds wrapper, doubling each table's columns
@@ -24,6 +24,14 @@
 // torus or hypercube) built entirely on the public study builders;
 // -latscale additionally fans every geometry across interconnect latency
 // scales (0.5 = a wire twice as fast).
+//
+// -shards N spreads each deployment's islands over N kernel event shards
+// (1 = the classic sequential kernel, -1 = min(islands, GOMAXPROCS), 0 =
+// auto). The fingerprint is independent of the setting — CI diffs a
+// -shards 1 against a -shards 4 run to prove it. -celltimes lines carry
+// the shard setting, and -baseline FILE (a saved -celltimes stderr
+// capture, typically recorded at -shards 1) adds per-cell speedup factors
+// against that recording.
 package main
 
 import (
@@ -47,8 +55,10 @@ func main() {
 	geometry := flag.String("geometry", "", "comma-separated machine geometries sockets:cores:LLC-MB[:fabric] (e.g. 16:4:12,8:10:30:ring) to sweep ad hoc")
 	latscale := flag.String("latscale", "", "comma-separated interconnect latency scales (e.g. 0.5,1,2) fanning every -geometry machine")
 	parallel := flag.Int("parallel", 0, "concurrently-run experiment cells (0 = GOMAXPROCS, 1 = sequential)")
+	shards := flag.Int("shards", 0, "kernel event shards per deployment (0 = auto, 1 = sequential kernel, -1 = min(islands, GOMAXPROCS))")
 	progress := flag.Bool("progress", false, "report per-cell experiment progress on stderr")
 	celltimes := flag.Bool("celltimes", false, "report per-cell wall-clock on stderr (the accounting behind cell cost hints)")
+	baseline := flag.String("baseline", "", "saved -celltimes capture to compute per-cell speedups against (implies -celltimes)")
 	flag.Parse()
 
 	if *list {
@@ -107,19 +117,28 @@ func main() {
 		}
 	}
 
-	opt := islands.ExperimentOptions{Quick: !*full, Seed: *seed, Parallel: *parallel}
+	opt := islands.ExperimentOptions{Quick: !*full, Seed: *seed, Parallel: *parallel, Shards: *shards}
 	if *progress {
 		opt.Progress = func(exp, cell string, done, total int) {
 			fmt.Fprintf(os.Stderr, "%s: %d/%d cells (%s)\n", exp, done, total, cell)
 		}
 	}
-	if *celltimes {
+	if *celltimes || *baseline != "" {
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "islandsprobe: %v\n", err)
+			os.Exit(2)
+		}
 		opt.CellTime = func(exp, cell string, elapsed time.Duration) {
-			fmt.Fprintf(os.Stderr, "celltime %s %.3fs\n", cell, elapsed.Seconds())
+			line := fmt.Sprintf("celltime %s shards=%d %.3fs", cell, *shards, elapsed.Seconds())
+			if ref, ok := base[cell]; ok && elapsed > 0 {
+				line += fmt.Sprintf(" speedup=%.2fx", ref.Seconds()/elapsed.Seconds())
+			}
+			fmt.Fprintln(os.Stderr, line)
 		}
 	}
 
-	probeDeployments(*seed)
+	probeDeployments(*seed, *shards)
 	if geos != nil {
 		runStudy(geometryStudy(geos), *seeds, opt)
 	}
@@ -135,7 +154,9 @@ func main() {
 // probeDeployments runs reference deployments spanning the interesting
 // configuration corners (shared-everything, islands, fine-grained; reads and
 // writes; local and multisite) and prints the raw kernel/measurement numbers.
-func probeDeployments(seed int64) {
+// The shard setting flows into each deployment, so a -shards diff covers the
+// raw kernel event counts too, not just the experiment tables.
+func probeDeployments(seed int64, shards int) {
 	machine := islands.QuadSocket()
 	cases := []struct {
 		name      string
@@ -151,6 +172,7 @@ func probeDeployments(seed int64) {
 		cfg := islands.DefaultConfig(machine, c.instances, 240000)
 		cfg.Seed = seed
 		cfg.LocalOnly = c.localOnly
+		cfg.Shards = shards
 		mc := c.mc
 		mc.Table = 1
 		mc.GlobalRows = 240000
@@ -162,6 +184,43 @@ func probeDeployments(seed int64) {
 			c.name, d.Kernel.Events(), m.Committed, m.ThroughputTPS)
 		d.Close()
 	}
+}
+
+// loadBaseline parses a saved -celltimes stderr capture into cell -> elapsed.
+// Lines look like "celltime fig8/24ISL shards=1 0.412s"; the shards field is
+// optional (older captures) and anything after the seconds field is ignored.
+// An empty path returns an empty map (no speedup reporting).
+func loadBaseline(path string) (map[string]time.Duration, error) {
+	base := map[string]time.Duration{}
+	if path == "" {
+		return base, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("-baseline: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		f := strings.Fields(line)
+		if len(f) < 3 || f[0] != "celltime" {
+			continue
+		}
+		cell := f[1]
+		for _, tok := range f[2:] {
+			if strings.HasPrefix(tok, "shards=") || strings.HasPrefix(tok, "speedup=") {
+				continue
+			}
+			d, err := time.ParseDuration(tok)
+			if err != nil {
+				return nil, fmt.Errorf("-baseline: bad elapsed %q on line %q", tok, line)
+			}
+			base[cell] = d
+			break
+		}
+	}
+	if len(base) == 0 {
+		return nil, fmt.Errorf("-baseline: no celltime lines in %s", path)
+	}
+	return base, nil
 }
 
 // parseOnly validates a comma-separated -only list against the registry;

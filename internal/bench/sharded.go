@@ -1,0 +1,60 @@
+// Package bench holds benchmark bodies shared between `go test -bench` and
+// the islandsbench -benchjson mode: cmd/islandsbench drives them through
+// testing.Benchmark to emit machine-readable BENCH_<rev>.json records, and
+// the _test.go wrappers expose the same bodies to the standard bench runner.
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"islands/internal/core"
+	"islands/internal/harness"
+	"islands/internal/sim"
+	"islands/internal/workload"
+)
+
+// scalingGeometry is the largest machine the memory model's 16-socket
+// sharer mask admits: 16 sockets x 4 cores = 64 cores, one island per
+// socket. (The paper's islands never exceed one socket; 64 cores is the
+// "large multisocket" end of its hardware spectrum.)
+var scalingGeometry = harness.Geometry{Sockets: 16, CoresPerSocket: 4}
+
+// ScalingGeometryLabel names the benchmark's machine for reports.
+func ScalingGeometryLabel() string { return scalingGeometry.Label() }
+
+// ShardCounts returns the shard-count ladder ShardedScaling is swept over:
+// powers of two from the sequential kernel up to one shard per island,
+// regardless of host core count — on a single-CPU machine the multi-shard
+// points still run (the workers serialize) and still produce bit-identical
+// simulations; only the wall-clock speedup needs real cores.
+func ShardCounts() []int {
+	return []int{1, 2, 4, 8, 16}
+}
+
+// ShardedScaling measures one full deployment cell — build, load, run the
+// quick measurement window, tear down — on the scaling geometry with the
+// given kernel shard count: 16 per-socket islands, the paper's read-10
+// microbenchmark at 20% multisite. The committed-transaction count is
+// reported as a benchmark metric; it must be identical at every shard count
+// (the kernel's determinism contract), so a BENCH json is self-checking.
+func ShardedScaling(b *testing.B, shards int) {
+	b.ReportAllocs()
+	var committed uint64
+	for i := 0; i < b.N; i++ {
+		m := scalingGeometry.Machine()
+		cfg := core.DefaultConfig(m, 16, 240000)
+		cfg.Seed = 42
+		cfg.Shards = shards
+		d := core.NewDeployment(cfg)
+		d.Start(workload.NewMicro(workload.MicroConfig{
+			Table: 1, GlobalRows: 240000, RowsPerTxn: 10, PctMultisite: 0.2,
+			Seed: 43,
+		}, d.Part))
+		res := d.Run(500*sim.Microsecond, 3*sim.Millisecond)
+		d.Close()
+		committed = res.Committed
+	}
+	b.ReportMetric(float64(committed), "committed/op")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}

@@ -3,6 +3,10 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
 
 	"islands/internal/engine"
 	"islands/internal/fault"
@@ -107,6 +111,25 @@ type Config struct {
 	// replay. See the fault package for the determinism contract.
 	Faults *fault.Plan
 
+	// Shards selects how many kernel event shards the deployment's islands
+	// are spread over (conservative parallel simulation):
+	//
+	//	 0 or 1 — single shard (classic sequential kernel);
+	//	>1      — that many shards, clamped to the island count;
+	//	-1      — auto: min(islands, GOMAXPROCS).
+	//
+	// Sharding requires >= 2 islands, disjoint per-instance core sets (OS
+	// placement can double cores up), and a memory-mapped disk (the HDD
+	// array is a machine-shared device); ineligible configs silently run on
+	// one shard. Results are bit-identical at every shard count: the kernel
+	// keys events by (timestamp, island domain, domain-local sequence), a
+	// mapping-invariant order, and the minimum cross-island wire latency of
+	// the interconnect model is the conservative lookahead that makes
+	// windowed parallel execution safe. The ISLANDS_FORCE_SHARDS environment
+	// variable, when set, overrides this field (CI race legs force sharding
+	// on without plumbing flags through every test).
+	Shards int
+
 	Seed int64
 }
 
@@ -131,13 +154,17 @@ type Deployment struct {
 	Net       *ipc.Network[engine.Msg]
 	Part      *RangePartitioner
 	Instances []*engine.Instance
-	Disk      *storage.Disk
+
+	// Disk is the machine-shared device, set only for DiskHDD; with the
+	// default memory-mapped disks each instance owns a private device (a
+	// crash-isolated, shard-local resource).
+	Disk *storage.Disk
 
 	// Injector drives the deployment's fault plan; nil for healthy runs.
 	Injector *fault.Injector
 
-	tsCounter uint64
-	started   bool
+	domains []*sim.Domain // one per island, in island order
+	started bool
 }
 
 // NewDeployment builds instances, loads data, and wires the network.
@@ -153,16 +180,21 @@ func NewDeployment(cfg Config) *Deployment {
 		// instance would come back empty.
 		cfg.Wal.Retain = true
 	}
-	k := sim.NewKernel()
-	model := mem.NewModel(cfg.Machine)
-	net := ipc.NewNetwork[engine.Msg](k, cfg.Machine, cfg.Mechanism)
-	net.AttachModel(model)
-
 	parts := cfg.InstanceCores
 	if parts == nil {
 		parts = placeInstances(cfg)
 	}
 	n := len(parts)
+
+	shards := resolveShards(cfg, parts)
+	var la sim.Time
+	if shards > 1 {
+		la = minCrossWire(cfg, parts)
+	}
+	k := sim.NewSharded(shards, la)
+	model := mem.NewModel(cfg.Machine)
+	net := ipc.NewNetwork[engine.Msg](k, cfg.Machine, cfg.Mechanism)
+	net.AttachModel(model)
 
 	rows := make(map[storage.TableID]int64, len(cfg.Tables))
 	for _, t := range cfg.Tables {
@@ -170,15 +202,22 @@ func NewDeployment(cfg Config) *Deployment {
 	}
 	part := NewRangePartitioner(n, rows)
 
+	// The HDD array is one machine-shared device; memory-mapped disks are
+	// per-instance (engine.NewInstance makes one when opts.Disk is nil), so
+	// every disk resource is local to its island's shard.
 	var disk *storage.Disk
-	switch cfg.Disk {
-	case DiskHDD:
+	if cfg.Disk == DiskHDD {
 		disk = storage.HDDArray()
-	default:
-		disk = storage.MMapDisk()
 	}
 
 	d := &Deployment{Cfg: cfg, Kernel: k, Model: model, Net: net, Part: part, Disk: disk}
+	// One determinism domain per island, in island order, regardless of the
+	// shard count — identical domain ids at shards=1 and shards=n are what
+	// make the runs bit-identical. Islands round-robin over shards.
+	d.domains = make([]*sim.Domain, n)
+	for i := 0; i < n; i++ {
+		d.domains[i] = k.NewDomain(i % shards)
+	}
 	for i := 0; i < n; i++ {
 		specs := make([]engine.TableSpec, 0, len(cfg.Tables))
 		for _, t := range cfg.Tables {
@@ -203,7 +242,7 @@ func NewDeployment(cfg Config) *Deployment {
 				opts.BufferPoolPages = 8
 			}
 		}
-		in := engine.NewInstance(k, cfg.Machine, model, net, engine.InstanceID(i), parts[i], part, &d.tsCounter, opts)
+		in := engine.NewInstance(k, cfg.Machine, model, net, engine.InstanceID(i), parts[i], part, d.domains[i], opts)
 		d.Instances = append(d.Instances, in)
 	}
 	for _, in := range d.Instances {
@@ -220,13 +259,107 @@ func NewDeployment(cfg Config) *Deployment {
 	return d
 }
 
+// forcedShards reads the ISLANDS_FORCE_SHARDS override once per process.
+var forcedShards = sync.OnceValue(func() int {
+	v := os.Getenv("ISLANDS_FORCE_SHARDS")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		panic("core: bad ISLANDS_FORCE_SHARDS value " + strconv.Quote(v))
+	}
+	return n
+})
+
+// resolveShards turns Config.Shards (plus the ISLANDS_FORCE_SHARDS
+// override) into a concrete shard count for this deployment, applying the
+// eligibility rules documented on Config.Shards.
+func resolveShards(cfg Config, parts [][]topology.CoreID) int {
+	want := cfg.Shards
+	if f := forcedShards(); f != 0 {
+		want = f
+	}
+	if want == 0 || want == 1 {
+		return 1
+	}
+	n := len(parts)
+	if n < 2 {
+		return 1
+	}
+	if cfg.Disk == DiskHDD {
+		// The HDD array is one machine-shared queueing resource; its waiters
+		// would cross shard boundaries.
+		return 1
+	}
+	// Placement may double a core up across instances (PlacementOS draws
+	// with replacement, InstanceCores is caller-provided); shared cores mean
+	// shared run queues and shared mem.Model per-core counters.
+	seen := make(map[topology.CoreID]int)
+	for i, cores := range parts {
+		for _, c := range cores {
+			if prev, ok := seen[c]; ok && prev != i {
+				return 1
+			}
+			seen[c] = i
+		}
+	}
+	if want < 0 {
+		want = runtime.GOMAXPROCS(0)
+	}
+	if want > n {
+		want = n
+	}
+	if want < 1 {
+		want = 1
+	}
+	return want
+}
+
+// minCrossWire computes the conservative lookahead: the minimum delivery
+// latency of any message between cores of different instances. Any two
+// instances with cores on one socket bound it by the same-socket handoff;
+// otherwise the fabric's scaled cross-socket latency, minimized over the
+// instances' hop distances, applies. Always positive.
+func minCrossWire(cfg Config, parts [][]topology.CoreID) sim.Time {
+	m := cfg.Machine
+	costs := ipc.CostsFor(cfg.Mechanism)
+	min := sim.Time(0)
+	consider := func(t sim.Time) {
+		if min == 0 || t < min {
+			min = t
+		}
+	}
+	for i := 0; i < len(parts); i++ {
+		for j := i + 1; j < len(parts); j++ {
+			for _, a := range parts[i] {
+				for _, b := range parts[j] {
+					sa, sb := m.SocketOf(a), m.SocketOf(b)
+					if sa == sb {
+						consider(costs.WireSameSocket)
+						continue
+					}
+					h := m.Hops(sa, sb)
+					consider(m.ScaleCross(costs.WireCrossBase + sim.Time(h-1)*costs.WireCrossPerHop))
+				}
+			}
+		}
+	}
+	if min <= 0 {
+		panic("core: cross-island wire latency must be positive for sharding")
+	}
+	return min
+}
+
 // wireFaults connects the fault injector to the deployment: the network
 // consults it on every delivery (keyed by the sending and receiving cores'
-// islands), and its crash events drive the instance crash/recover/reopen
-// lifecycle. Fault injection consumes RNG state only inside drop windows,
-// so a plan without drops perturbs nothing stochastic.
+// islands plus the sender's clock), and its crash events drive the instance
+// crash/recover/reopen lifecycle on the crashed island's own domain. Fault
+// injection consumes RNG state only inside drop windows — one private
+// stream per sender island, so draws stay on the owning shard at every
+// shard count.
 func (d *Deployment) wireFaults(parts [][]topology.CoreID) {
-	inj, err := fault.NewInjector(d.Kernel, len(d.Instances), d.Cfg.Seed+0x0F, d.Cfg.Faults)
+	inj, err := fault.NewInjector(d.domains, d.Cfg.Seed+0x0F, d.Cfg.Faults)
 	if err != nil {
 		panic("core: invalid fault plan: " + err.Error())
 	}
@@ -243,7 +376,7 @@ func (d *Deployment) wireFaults(parts [][]topology.CoreID) {
 			coreIsland[c] = i
 		}
 	}
-	d.Net.SetFault(func(from, to topology.CoreID) (bool, float64) {
+	d.Net.SetFault(func(from, to topology.CoreID, now sim.Time) (bool, float64) {
 		fi, ti := -1, -1
 		if int(from) < len(coreIsland) {
 			fi = coreIsland[from]
@@ -254,7 +387,7 @@ func (d *Deployment) wireFaults(parts [][]topology.CoreID) {
 		if fi < 0 || ti < 0 {
 			return false, 1
 		}
-		return inj.Deliver(fi, ti)
+		return inj.Deliver(fi, ti, now)
 	})
 
 	inj.OnCrash = func(i int) { d.Instances[i].Crash() }

@@ -51,9 +51,9 @@ func (d *Deployment) snapshot() Snapshot {
 		s.Expired += st.Expired
 	}
 	s.Mem = d.Model.TotalStats(nil)
-	s.Msgs = d.Net.Messages
-	s.CrossMsgs = d.Net.CrossSocket
-	s.Dropped = d.Net.Dropped
+	s.Msgs = d.Net.Messages.Load()
+	s.CrossMsgs = d.Net.CrossSocket.Load()
+	s.Dropped = d.Net.Dropped.Load()
 	if d.Injector != nil {
 		s.DownTime = d.Injector.DownTime()
 	}

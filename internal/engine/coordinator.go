@@ -54,8 +54,8 @@ const (
 // hard, it will be a while) and losing the coordinator's own instance (wait
 // for reopen, then start over).
 func (in *Instance) runTxn(ctx *exec.Ctx, req Request, reply *ipc.Endpoint[Msg]) {
-	*in.ts = *in.ts + 1
-	ts := *in.ts
+	in.tsNext++
+	ts := in.tsNext*in.tsStride + uint64(in.ID)
 	var attempt uint32
 	timeouts := 0
 	for {

@@ -55,14 +55,13 @@ func testDeployment(k *sim.Kernel, n int, rows int64, locking bool) []*Instance 
 	model := mem.NewModel(topo)
 	net := ipc.NewNetwork[Msg](k, topo, ipc.UnixSocket)
 	part := rangePart{instances: n, rows: rows}
-	var ts uint64
 	parts := topology.IslandPartition(topo, n)
 	instances := make([]*Instance, n)
 	for i := 0; i < n; i++ {
 		opts := DefaultOptions(TableSpec{ID: 1, Name: "rows", RowBytes: 250, LocalRows: rows / int64(n)})
 		opts.Locking = locking
 		opts.Latching = locking
-		instances[i] = NewInstance(k, topo, model, net, InstanceID(i), parts[i], part, &ts, opts)
+		instances[i] = NewInstance(k, topo, model, net, InstanceID(i), parts[i], part, nil, opts)
 	}
 	for i := range instances {
 		instances[i].Connect(instances)
@@ -217,13 +216,12 @@ func TestDistributedUpdateDurableOnBothSides(t *testing.T) {
 	model := mem.NewModel(topo)
 	net := ipc.NewNetwork[Msg](k, topo, ipc.UnixSocket)
 	part := rangePart{instances: 2, rows: 240}
-	var ts uint64
 	parts := topology.IslandPartition(topo, 2)
 	var ins [2]*Instance
 	for i := 0; i < 2; i++ {
 		opts := DefaultOptions(TableSpec{ID: 1, Name: "rows", RowBytes: 250, LocalRows: 120})
 		opts.Wal.Retain = true
-		ins[i] = NewInstance(k, topo, model, net, InstanceID(i), parts[i], part, &ts, opts)
+		ins[i] = NewInstance(k, topo, model, net, InstanceID(i), parts[i], part, nil, opts)
 	}
 	ins[0].Connect(ins[:])
 	ins[1].Connect(ins[:])

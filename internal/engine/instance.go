@@ -78,9 +78,9 @@ type Stats struct {
 	Prepares    uint64
 
 	// Fault-injection counters (all zero in healthy runs).
-	Crashes       uint64 // fail-stop crashes of this instance
-	TimeoutAborts uint64 // coordinator attempts aborted on the 2PC deadline
-	Expired       uint64 // orphaned subordinate txns GC'd by presumed abort
+	Crashes       uint64   // fail-stop crashes of this instance
+	TimeoutAborts uint64   // coordinator attempts aborted on the 2PC deadline
+	Expired       uint64   // orphaned subordinate txns GC'd by presumed abort
 	RecoveryTime  sim.Time // virtual time spent replaying the WAL after crashes
 
 	// RowsCommitted counts row-version bumps whose transactions committed
@@ -121,7 +121,18 @@ type Instance struct {
 	peers []*Instance
 
 	part Partitioner
-	ts   *uint64
+
+	// dom is the instance's determinism domain (one per island); all of the
+	// instance's procs, mailboxes, and timers run on its shard.
+	dom *sim.Domain
+
+	// Transaction timestamps are allocated instance-locally and interleaved
+	// by stride so they stay globally unique and fair for wait-die priority
+	// without a deployment-global counter (which would be a cross-shard
+	// hotspot and make allocation order depend on the shard mapping):
+	// ts = tsNext*tsStride + ID + 1.
+	tsNext   uint64
+	tsStride uint64
 
 	serial  *execToken // non-nil under SerialExecution
 	pending map[uint64]*Txn
@@ -165,26 +176,31 @@ func (in *Instance) rowScratch(n int) []byte {
 }
 
 // NewInstance builds (and loads) an instance on the given cores.
-// tsCounter is the deployment-global transaction timestamp source.
+// dom is the instance's island domain; nil binds it to the kernel's default
+// domain (single-machine tests).
 func NewInstance(k *sim.Kernel, topo *topology.Machine, model *mem.Model,
 	net *ipc.Network[Msg], id InstanceID, cores []topology.CoreID,
-	part Partitioner, tsCounter *uint64, opts Options) *Instance {
+	part Partitioner, dom *sim.Domain, opts Options) *Instance {
 
 	if len(cores) == 0 {
 		panic("engine: instance needs at least one core")
 	}
+	if dom == nil {
+		dom = k.DefaultDomain()
+	}
 	in := &Instance{
-		ID:      id,
-		Cores:   cores,
-		k:       k,
-		topo:    topo,
-		model:   model,
-		net:     net,
-		part:    part,
-		ts:      tsCounter,
-		opts:    opts,
-		pending: make(map[uint64]*Txn),
-		tables:  make(map[storage.TableID]*tableState),
+		ID:       id,
+		Cores:    cores,
+		k:        k,
+		topo:     topo,
+		model:    model,
+		net:      net,
+		part:     part,
+		dom:      dom,
+		tsStride: uint64(part.Instances()),
+		opts:     opts,
+		pending:  make(map[uint64]*Txn),
+		tables:   make(map[storage.TableID]*tableState),
 	}
 	// Threads bound to the same physical core share its run queue (the OS
 	// placement strategy can double up workers on a core).
@@ -222,7 +238,7 @@ func NewInstance(k *sim.Kernel, topo *topology.Machine, model *mem.Model,
 		in.bpPages = int(totalPages) + 64
 	}
 	in.bp = storage.NewBufferPool(in.store, in.disk, in.bpPages)
-	in.wal = wal.NewManager(k, opts.Wal)
+	in.wal = wal.NewManager(dom, opts.Wal)
 	in.locks = lock.NewManager(opts.Locking)
 
 	home := topo.SocketOf(cores[0])
@@ -241,8 +257,8 @@ func NewInstance(k *sim.Kernel, topo *topology.Machine, model *mem.Model,
 		in.dilation += dilationCapacityCoeff * float64(totalBytes-llcEff) / float64(totalBytes)
 	}
 
-	in.workQ = net.NewEndpoint(cores[0])
-	in.ctrlQ = net.NewEndpoint(cores[0])
+	in.workQ = net.NewEndpointIn(dom, cores[0])
+	in.ctrlQ = net.NewEndpointIn(dom, cores[0])
 	return in
 }
 
@@ -325,13 +341,13 @@ func (in *Instance) newCtx(p *sim.Proc, i int) *exec.Ctx {
 func (in *Instance) Start(src RequestSource) {
 	for i := range in.Cores {
 		i := i
-		in.k.Spawn(fmt.Sprintf("i%d/worker%d", in.ID, i), func(p *sim.Proc) {
+		in.dom.Spawn(fmt.Sprintf("i%d/worker%d", in.ID, i), func(p *sim.Proc) {
 			in.workerLoop(p, i, src)
 		})
-		in.k.Spawn(fmt.Sprintf("i%d/service%d", in.ID, i), func(p *sim.Proc) {
+		in.dom.Spawn(fmt.Sprintf("i%d/service%d", in.ID, i), func(p *sim.Proc) {
 			in.serviceLoop(p, i)
 		})
-		in.k.Spawn(fmt.Sprintf("i%d/ctrl%d", in.ID, i), func(p *sim.Proc) {
+		in.dom.Spawn(fmt.Sprintf("i%d/ctrl%d", in.ID, i), func(p *sim.Proc) {
 			in.ctrlLoop(p, i)
 		})
 	}
@@ -342,7 +358,7 @@ func (in *Instance) Start(src RequestSource) {
 func (in *Instance) StartWorkersOnly(src RequestSource) {
 	for i := range in.Cores {
 		i := i
-		in.k.Spawn(fmt.Sprintf("i%d/worker%d", in.ID, i), func(p *sim.Proc) {
+		in.dom.Spawn(fmt.Sprintf("i%d/worker%d", in.ID, i), func(p *sim.Proc) {
 			in.workerLoop(p, i, src)
 		})
 	}
@@ -350,7 +366,7 @@ func (in *Instance) StartWorkersOnly(src RequestSource) {
 
 func (in *Instance) workerLoop(p *sim.Proc, i int, src RequestSource) {
 	ctx := in.newCtx(p, i)
-	reply := in.net.NewEndpoint(ctx.Core)
+	reply := in.net.NewEndpointIn(in.dom, ctx.Core)
 	for {
 		req := src.Next(in.ID, i)
 		if in.faulty && in.down {

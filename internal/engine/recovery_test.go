@@ -16,11 +16,10 @@ func buildRetained(k *sim.Kernel, rows int64) *Instance {
 	topo := topology.QuadSocket()
 	model := mem.NewModel(topo)
 	net := ipc.NewNetwork[Msg](k, topo, ipc.UnixSocket)
-	var ts uint64
 	opts := DefaultOptions(TableSpec{ID: 1, Name: "rows", RowBytes: 250, LocalRows: rows})
 	opts.Wal.Retain = true
 	in := NewInstance(k, topo, model, net, 0, topology.IslandPartition(topo, 1)[0],
-		rangePart{instances: 1, rows: rows}, &ts, opts)
+		rangePart{instances: 1, rows: rows}, nil, opts)
 	in.Connect([]*Instance{in})
 	return in
 }

@@ -27,8 +27,6 @@ type Event interface {
 	When() sim.Time
 	// validate checks the event against the deployment's island count.
 	validate(islands int) error
-	// fire applies the event's onset in kernel context (it must not block).
-	fire(inj *Injector)
 }
 
 // IslandCrash kills island Island at time At: the instance loses all
@@ -53,8 +51,6 @@ func (e IslandCrash) validate(islands int) error {
 	}
 	return nil
 }
-
-func (e IslandCrash) fire(inj *Injector) { inj.crash(e.Island, e.DownFor) }
 
 // LinkDegrade multiplies the wire latency of messages from island From to
 // island To by Factor (> 1 slows the link) for Dur starting at At. Degrade
@@ -82,16 +78,11 @@ func (e LinkDegrade) validate(islands int) error {
 	return nil
 }
 
-func (e LinkDegrade) fire(inj *Injector) {
-	inj.link[e.From][e.To] *= e.Factor
-	f := e
-	inj.k.After(e.Dur, func() { inj.link[f.From][f.To] /= f.Factor })
-}
-
 // MsgDrop drops every inter-island message independently with probability
-// Prob for Dur starting at At. Drop decisions come from the injector's
-// seeded RNG, consumed in delivery order — deterministic because the
-// kernel runs one event at a time.
+// Prob for Dur starting at At. Drop decisions come from the sending
+// island's private seeded RNG, consumed in that island's delivery order —
+// deterministic regardless of how islands are sharded, because an island's
+// sends are totally ordered by its own shard.
 type MsgDrop struct {
 	At   sim.Time
 	Prob float64
@@ -109,12 +100,6 @@ func (e MsgDrop) validate(int) error {
 		return fmt.Errorf("fault: MsgDrop needs Dur > 0, got %v", e.Dur)
 	}
 	return nil
-}
-
-func (e MsgDrop) fire(inj *Injector) {
-	inj.dropProb += e.Prob
-	p := e.Prob
-	inj.k.After(e.Dur, func() { inj.dropProb -= p })
 }
 
 // WALStall adds Extra to island Island's log-flush device latency for Dur
@@ -141,20 +126,6 @@ func (e WALStall) validate(islands int) error {
 		return fmt.Errorf("fault: WALStall needs Dur > 0, got %v", e.Dur)
 	}
 	return nil
-}
-
-func (e WALStall) fire(inj *Injector) {
-	f := e
-	inj.stall[e.Island] += e.Extra
-	if inj.OnWALStall != nil {
-		inj.OnWALStall(e.Island, inj.stall[e.Island])
-	}
-	inj.k.After(e.Dur, func() {
-		inj.stall[f.Island] -= f.Extra
-		if inj.OnWALStall != nil {
-			inj.OnWALStall(f.Island, inj.stall[f.Island])
-		}
-	})
 }
 
 // Plan is a deterministic fault schedule: typed events at exact simulated
@@ -187,80 +158,137 @@ func (p *Plan) HasCrash() bool {
 	return false
 }
 
-// Injector arms a Plan on a kernel and tracks live fault state. All methods
-// run in simulation context (kernel callbacks or procs), which executes
-// strictly one event at a time — no locking, and RNG draws happen in a
-// deterministic order.
+// dropWindow and degradeWindow are static, immutable views of MsgDrop and
+// LinkDegrade events: instead of timers mutating shared probability/factor
+// state at onset and offset (which a sender on another shard could never
+// read safely), Deliver evaluates the windows against the sender's own
+// clock. Active windows sum (drop probability) or multiply (link factor).
+type dropWindow struct {
+	from, to sim.Time // [from, to)
+	prob     float64
+}
+
+type degradeWindow struct {
+	start, end sim.Time // [start, end)
+	src, dst   int
+	factor     float64
+}
+
+// Injector arms a Plan on a deployment's island domains and tracks live
+// fault state. Crash and WAL-stall timers fire on the affected island's own
+// domain, so their state transitions are always shard-local to that island;
+// message-drop and link-degrade state is static (windows evaluated against
+// the sender's clock) so Deliver reads no cross-shard mutable state at all.
+// Per-island counters and RNG streams keep writes shard-local too; whole-run
+// totals are summed on demand at barriers.
 type Injector struct {
-	k       *sim.Kernel
-	islands int
-	rng     *rand.Rand
+	k    *sim.Kernel
+	doms []*sim.Domain
+
+	// rngs[i] is island i's private drop stream, consumed only inside
+	// active drop windows and only by island i's sends.
+	rngs []*rand.Rand
 
 	down      []bool
 	downSince []sim.Time
-	downAcc   sim.Time // completed outage time summed over islands
+	downAcc   []sim.Time // completed outage time per island
 
-	link     [][]float64 // wire-latency factor per (from, to) island pair
-	stall    []sim.Time  // current extra flush latency per island
-	dropProb float64
+	drops    []dropWindow
+	degrades []degradeWindow
+	stall    []sim.Time // current extra flush latency per island
 
 	// OnCrash fires at crash onset; OnRestore fires when DownFor elapses
 	// and returns the recovery (WAL replay) duration, which extends the
 	// outage; OnUp fires when the island reopens. OnWALStall reports the
 	// island's current total extra flush latency whenever it changes. All
-	// run in kernel context and must not block.
+	// run in kernel context on the affected island's shard and must not
+	// block.
 	OnCrash    func(island int)
 	OnRestore  func(island int) sim.Time
 	OnUp       func(island int)
 	OnWALStall func(island int, extra sim.Time)
 
-	// Stats.
-	Crashes uint64
-	Drops   uint64
+	// Per-island stats; see Crashes/Drops for the barrier-time totals.
+	crashCount []uint64
+	dropCount  []uint64
 }
 
-// NewInjector builds an injector for a deployment of `islands` instances.
-// The seed drives only MsgDrop decisions; every other event is exact.
-// The plan must already be validated.
-func NewInjector(k *sim.Kernel, islands int, seed int64, plan *Plan) (*Injector, error) {
+// rngStride decorrelates per-island drop streams derived from one seed.
+const rngStride = 0x9E3779B97F4A7C15
+
+// NewInjector builds an injector for a deployment whose islands run on the
+// given domains (doms[i] is island i's domain; a single-shard deployment
+// passes per-island domains too, which is what keeps shard counts
+// bit-identical). The seed drives only MsgDrop decisions; every other event
+// is exact. The plan must already be validated.
+func NewInjector(doms []*sim.Domain, seed int64, plan *Plan) (*Injector, error) {
+	islands := len(doms)
 	if err := plan.Validate(islands); err != nil {
 		return nil, err
 	}
 	inj := &Injector{
-		k:         k,
-		islands:   islands,
-		rng:       rand.New(rand.NewSource(seed)),
-		down:      make([]bool, islands),
-		downSince: make([]sim.Time, islands),
-		stall:     make([]sim.Time, islands),
-		link:      make([][]float64, islands),
+		k:          doms[0].Kernel(),
+		doms:       doms,
+		rngs:       make([]*rand.Rand, islands),
+		down:       make([]bool, islands),
+		downSince:  make([]sim.Time, islands),
+		downAcc:    make([]sim.Time, islands),
+		stall:      make([]sim.Time, islands),
+		crashCount: make([]uint64, islands),
+		dropCount:  make([]uint64, islands),
 	}
-	for i := range inj.link {
-		inj.link[i] = make([]float64, islands)
-		for j := range inj.link[i] {
-			inj.link[i][j] = 1
-		}
+	for i := range inj.rngs {
+		inj.rngs[i] = rand.New(rand.NewSource(seed + int64(uint64(i)*rngStride)))
 	}
 	for _, e := range plan.Events {
-		e := e
-		k.After(e.When()-k.Now(), func() { e.fire(inj) })
+		switch f := e.(type) {
+		case IslandCrash:
+			dom := doms[f.Island]
+			island, downFor := f.Island, f.DownFor
+			dom.After(f.At-dom.Now(), func() { inj.crash(island, downFor) })
+		case WALStall:
+			dom := doms[f.Island]
+			g := f
+			dom.After(f.At-dom.Now(), func() {
+				inj.stall[g.Island] += g.Extra
+				if inj.OnWALStall != nil {
+					inj.OnWALStall(g.Island, inj.stall[g.Island])
+				}
+				dom.After(g.Dur, func() {
+					inj.stall[g.Island] -= g.Extra
+					if inj.OnWALStall != nil {
+						inj.OnWALStall(g.Island, inj.stall[g.Island])
+					}
+				})
+			})
+		case MsgDrop:
+			inj.drops = append(inj.drops, dropWindow{from: f.At, to: f.At + f.Dur, prob: f.Prob})
+		case LinkDegrade:
+			inj.degrades = append(inj.degrades, degradeWindow{
+				start: f.At, end: f.At + f.Dur, src: f.From, dst: f.To, factor: f.Factor,
+			})
+		default:
+			return nil, fmt.Errorf("fault: unknown event type %T", e)
+		}
 	}
 	return inj, nil
 }
 
 // crash marks an island down and schedules its restore. A crash of an
-// already-down island is coalesced into the existing outage.
+// already-down island is coalesced into the existing outage. Runs on the
+// island's own domain.
 func (inj *Injector) crash(island int, downFor sim.Time) {
 	if inj.down[island] {
 		return
 	}
+	dom := inj.doms[island]
 	inj.down[island] = true
-	inj.downSince[island] = inj.k.Now()
-	inj.Crashes++
+	inj.downSince[island] = dom.Now()
+	inj.crashCount[island]++
 	if inj.OnCrash != nil {
 		inj.OnCrash(island)
 	}
-	inj.k.After(downFor, func() { inj.restore(island) })
+	dom.After(downFor, func() { inj.restore(island) })
 }
 
 // restore replays the island's log (via OnRestore, which returns the replay
@@ -270,24 +298,47 @@ func (inj *Injector) restore(island int) {
 	if inj.OnRestore != nil {
 		rec = inj.OnRestore(island)
 	}
-	inj.k.After(rec, func() {
+	dom := inj.doms[island]
+	dom.After(rec, func() {
 		inj.down[island] = false
-		inj.downAcc += inj.k.Now() - inj.downSince[island]
+		inj.downAcc[island] += dom.Now() - inj.downSince[island]
 		if inj.OnUp != nil {
 			inj.OnUp(island)
 		}
 	})
 }
 
-// Down reports whether an island is currently down.
+// Down reports whether an island is currently down. Safe from the island's
+// own shard or at barriers.
 func (inj *Injector) Down(island int) bool { return inj.down[island] }
+
+// Crashes returns the whole-run crash count summed over islands.
+// Barrier-time read.
+func (inj *Injector) Crashes() uint64 {
+	var n uint64
+	for _, c := range inj.crashCount {
+		n += c
+	}
+	return n
+}
+
+// Drops returns the whole-run sender-side drop count summed over islands.
+// Barrier-time read.
+func (inj *Injector) Drops() uint64 {
+	var n uint64
+	for _, c := range inj.dropCount {
+		n += c
+	}
+	return n
+}
 
 // DownTime returns the cumulative outage time summed over islands,
 // including in-progress outages up to the current instant — the input to
-// windowed availability.
+// windowed availability. Barrier-time read.
 func (inj *Injector) DownTime() sim.Time {
-	t := inj.downAcc
+	var t sim.Time
 	for i, d := range inj.down {
+		t += inj.downAcc[i]
 		if d {
 			t += inj.k.Now() - inj.downSince[i]
 		}
@@ -295,19 +346,51 @@ func (inj *Injector) DownTime() sim.Time {
 	return t
 }
 
-// Deliver decides the fate of one message from island `from` to island
-// `to`: dropped (either endpoint down, or a MsgDrop window hit) and, if
-// delivered, the factor to scale its wire latency by (link degradation).
-// The RNG is consumed only while a drop window is active, so plans without
-// MsgDrop events never touch it.
-func (inj *Injector) Deliver(from, to int) (drop bool, scale float64) {
-	if inj.down[from] || inj.down[to] {
-		inj.Drops++
+// dropProbAt sums the probabilities of drop windows active at now.
+func (inj *Injector) dropProbAt(now sim.Time) float64 {
+	p := 0.0
+	for i := range inj.drops {
+		if w := &inj.drops[i]; now >= w.from && now < w.to {
+			p += w.prob
+		}
+	}
+	return p
+}
+
+// linkScaleAt multiplies the factors of degrade windows active on
+// (from, to) at now.
+func (inj *Injector) linkScaleAt(from, to int, now sim.Time) float64 {
+	s := 1.0
+	for i := range inj.degrades {
+		if w := &inj.degrades[i]; w.src == from && w.dst == to && now >= w.start && now < w.end {
+			s *= w.factor
+		}
+	}
+	return s
+}
+
+// Deliver decides the fate of one message from island `from` to island `to`
+// at the sender's virtual time `now`: dropped (sender down, or a MsgDrop
+// window hit) and, if delivered, the factor to scale its wire latency by
+// (link degradation). It runs on the *sender's* shard and touches only
+// sender-local mutable state: the sender's down flag, drop counter, and RNG
+// stream (consumed only while a drop window is active, so plans without
+// MsgDrop events never touch it — and island i's draws are the same no
+// matter how many shards the kernel runs).
+//
+// Messages to a down island are delivered, not dropped here: a receiver's
+// down flag belongs to the receiver's shard, so the engine drops them at
+// delivery time instead (its service loops discard traffic while down, and
+// reopening clears the mailboxes) — same observable outcome, no cross-shard
+// read.
+func (inj *Injector) Deliver(from, to int, now sim.Time) (drop bool, scale float64) {
+	if inj.down[from] {
+		inj.dropCount[from]++
 		return true, 0
 	}
-	if inj.dropProb > 0 && inj.rng.Float64() < inj.dropProb {
-		inj.Drops++
+	if p := inj.dropProbAt(now); p > 0 && inj.rngs[from].Float64() < p {
+		inj.dropCount[from]++
 		return true, 0
 	}
-	return false, inj.link[from][to]
+	return false, inj.linkScaleAt(from, to, now)
 }

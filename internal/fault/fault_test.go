@@ -6,6 +6,16 @@ import (
 	"islands/internal/sim"
 )
 
+// islandDoms builds one domain per island on a single-shard kernel, the
+// way deployments do regardless of shard count.
+func islandDoms(k *sim.Kernel, n int) []*sim.Domain {
+	doms := make([]*sim.Domain, n)
+	for i := range doms {
+		doms[i] = k.NewDomain(0)
+	}
+	return doms
+}
+
 func TestPlanValidate(t *testing.T) {
 	cases := []struct {
 		name string
@@ -56,7 +66,7 @@ func TestCrashDownTimeAccounting(t *testing.T) {
 	plan := &Plan{Events: []Event{
 		IslandCrash{At: 10 * sim.Microsecond, Island: 1, DownFor: 100 * sim.Microsecond},
 	}}
-	inj, err := NewInjector(k, 2, 1, plan)
+	inj, err := NewInjector(islandDoms(k, 2), 1, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,8 +103,8 @@ func TestCrashDownTimeAccounting(t *testing.T) {
 	if len(up) != 1 || up[0] != 150*sim.Microsecond {
 		t.Errorf("OnUp times = %v", up)
 	}
-	if inj.Crashes != 1 {
-		t.Errorf("Crashes = %d", inj.Crashes)
+	if inj.Crashes() != 1 {
+		t.Errorf("Crashes = %d", inj.Crashes())
 	}
 }
 
@@ -106,14 +116,14 @@ func TestDeliverDeterminism(t *testing.T) {
 		k := sim.NewKernel()
 		defer k.Close()
 		plan := &Plan{Events: []Event{MsgDrop{At: 1, Prob: 0.5, Dur: 1000}}}
-		inj, err := NewInjector(k, 2, 42, plan)
+		inj, err := NewInjector(islandDoms(k, 2), 42, plan)
 		if err != nil {
 			t.Fatal(err)
 		}
 		k.RunFor(10)
 		out := make([]bool, 64)
 		for i := range out {
-			out[i], _ = inj.Deliver(0, 1)
+			out[i], _ = inj.Deliver(0, 1, k.Now())
 		}
 		return out
 	}
@@ -139,28 +149,30 @@ func TestDeliverDownAndDegraded(t *testing.T) {
 		IslandCrash{At: 1, Island: 0, DownFor: 1000},
 		LinkDegrade{At: 1, From: 1, To: 2, Factor: 3, Dur: 1000},
 	}}
-	inj, err := NewInjector(k, 3, 1, plan)
+	inj, err := NewInjector(islandDoms(k, 3), 1, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
 	k.RunFor(10)
-	if drop, _ := inj.Deliver(0, 1); !drop {
+	if drop, _ := inj.Deliver(0, 1, k.Now()); !drop {
 		t.Error("message from a down island not dropped")
 	}
-	if drop, _ := inj.Deliver(1, 0); !drop {
-		t.Error("message to a down island not dropped")
+	// Messages *to* a down island are delivered: the receiver's engine
+	// drops them at delivery time (its down flag is receiver-shard state).
+	if drop, _ := inj.Deliver(1, 0, k.Now()); drop {
+		t.Error("message to a down island dropped at the sender")
 	}
-	if drop, scale := inj.Deliver(1, 2); drop || scale != 3 {
+	if drop, scale := inj.Deliver(1, 2, k.Now()); drop || scale != 3 {
 		t.Errorf("degraded link: drop=%v scale=%v, want false/3", drop, scale)
 	}
-	if drop, scale := inj.Deliver(2, 1); drop || scale != 1 {
+	if drop, scale := inj.Deliver(2, 1, k.Now()); drop || scale != 1 {
 		t.Errorf("reverse link should be healthy: drop=%v scale=%v", drop, scale)
 	}
 	k.RunFor(2000) // degradation and outage both end
-	if drop, scale := inj.Deliver(1, 2); drop || scale != 1 {
+	if drop, scale := inj.Deliver(1, 2, k.Now()); drop || scale != 1 {
 		t.Errorf("link still degraded after Dur: drop=%v scale=%v", drop, scale)
 	}
-	if drop, _ := inj.Deliver(0, 1); drop {
+	if drop, _ := inj.Deliver(0, 1, k.Now()); drop {
 		t.Error("island still dropping after restore")
 	}
 }

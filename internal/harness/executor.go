@@ -51,6 +51,18 @@ func (p *Plan) Execute(opt Options) *Result {
 		workers = n
 	}
 
+	// Auto sharding: intra-cell kernel shards and cell-level workers compete
+	// for the same CPUs, so by default a cell's deployment shards only when
+	// cells run one at a time. Explicit opt.Shards settings pass through to
+	// every cell's core.Config untouched.
+	if opt.Shards == 0 {
+		if workers > 1 {
+			opt.Shards = 1
+		} else {
+			opt.Shards = -1
+		}
+	}
+
 	// report serializes the Progress and CellTime callbacks; done counts
 	// completions, which under parallelism is not the cell index.
 	var mu sync.Mutex

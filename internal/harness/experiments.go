@@ -31,6 +31,7 @@ func runMicro(m *topology.Machine, instances int, rows int64, mc workload.MicroC
 	cfg := core.DefaultConfig(m, instances, rows)
 	cfg.LocalOnly = localOnly
 	cfg.Seed = opt.Seed
+	cfg.Shards = opt.Shards
 	if tweak != nil {
 		tweak(&cfg)
 	}
@@ -60,6 +61,7 @@ func runTPCC(m *topology.Machine, s TPCCSpec, opt Options,
 		Mechanism:     ipc.UnixSocket,
 		LocalOnly:     s.LocalOnly,
 		Seed:          opt.Seed,
+		Shards:        opt.Shards,
 	}
 	for _, t := range workload.MixTableSet(s.Warehouses, s.Mix, s.Sizing) {
 		cfg.Tables = append(cfg.Tables, core.TableDecl{ID: t.ID, Name: t.Name, RowBytes: t.RowBytes, Rows: t.Rows})

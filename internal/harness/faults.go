@@ -58,6 +58,7 @@ func FaultCell(name string, s FaultSpec, emits ...Emit) Cell {
 		cfg := core.DefaultConfig(s.Machine(), s.Instances, s.Rows)
 		cfg.LocalOnly = s.LocalOnly
 		cfg.Seed = opt.Seed
+		cfg.Shards = opt.Shards
 		cfg.Faults = s.Plan(warmup, window, n)
 		if s.Tweak != nil {
 			s.Tweak(&cfg)

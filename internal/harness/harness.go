@@ -31,6 +31,16 @@ type Options struct {
 	// so every setting produces identical tables; parallelism only changes
 	// wall-clock time.
 	Parallel int
+	// Shards selects the kernel shard count inside each cell's deployment
+	// (core.Config.Shards): >1 spreads a cell's islands over that many event
+	// shards, -1 lets the kernel pick min(islands, GOMAXPROCS), 1 forces the
+	// classic single-shard kernel. 0 (the default) is auto: shard only when
+	// cells run one at a time (the executor resolves it to -1 for
+	// sequential dispatch and 1 when cell-level parallelism already
+	// saturates the cores — the two parallelism levels compete for the same
+	// CPUs). Tables are bit-identical at every setting; like Parallel, this
+	// only moves wall-clock time.
+	Shards int
 	// Progress, when non-nil, is called by the executor after each cell
 	// completes (never concurrently): the experiment id, the finished
 	// cell's name, and the done/total cell counts of the experiment.

@@ -216,6 +216,10 @@ func runFig14Cell(machine *topology.Machine, n int, size int64, write bool, p fl
 	cfg := core.DefaultConfig(machine, n, size)
 	cfg.LocalOnly = p == 0
 	cfg.Seed = opt.Seed
+	// DiskHDD keeps the deployment on one shard (the array is a
+	// machine-shared device), but the setting flows through so eligibility
+	// lives in one place — core.resolveShards.
+	cfg.Shards = opt.Shards
 	cfg.Disk = core.DiskHDD
 	cfg.BufferPoolPagesTotal = bpPages
 	cfg.Prewarm = true

@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestShardedMatchesUnsharded is the deployment-level statement of the
+// sharded kernel's determinism contract: for every registered experiment —
+// including the fault-injection studies, whose per-window series feed their
+// tables — a quick run with every cell's islands spread over 4 kernel shards,
+// and one with the kernel choosing the shard count (-1), produce tables
+// bit-identical to the single-shard run. Sharding, like cell-level
+// parallelism, must only ever move wall-clock time. The CI race job runs
+// this under -race, covering the windowed parallel execution path; the
+// fingerprint-diff job asserts the same property across processes via
+// islandsprobe -shards.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	for _, e := range All() {
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			opt := Options{Quick: true, Short: testing.Short(), Seed: 11, Parallel: 1}
+			ref := opt
+			ref.Shards = 1
+			want := e.Run(ref)
+			variants := []int{4}
+			if runtime.GOMAXPROCS(0) > 1 {
+				// Auto (-1) resolves to min(islands, GOMAXPROCS); on a
+				// single-CPU host that is the reference configuration again,
+				// so the extra leg only buys coverage on multi-core machines.
+				variants = append(variants, -1)
+			}
+			for _, shards := range variants {
+				got := opt
+				got.Shards = shards
+				if err := equalResults(want, e.Run(got)); err != nil {
+					t.Fatalf("shards=%d run diverges from single-shard: %v", shards, err)
+				}
+			}
+		})
+	}
+}

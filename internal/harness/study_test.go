@@ -10,12 +10,15 @@ import (
 	"islands/internal/topology"
 )
 
-// TestQuickFingerprintGolden pins the registered experiments to the
-// fingerprint they produced before the study-API redesign (PR 3): every
-// table value of every experiment at quick mode, seed 42, byte-identical
-// both sequentially and at 4-way parallelism. Regenerate the golden file
-// with `go run ./cmd/islandsprobe -experiments | tail -n +4` only for a
-// change that intentionally alters simulated behavior.
+// TestQuickFingerprintGolden pins the registered experiments to a recorded
+// fingerprint: every table value of every experiment at quick mode, seed 42,
+// byte-identical both sequentially and at 4-way parallelism. Regenerate the
+// golden file with `go run ./cmd/islandsprobe -experiments | tail -n +4`
+// only for a change that intentionally alters simulated behavior. Last
+// re-baselined for the sharded kernel (PR 7), whose mapping-invariant event
+// keys required per-instance timestamp striding, per-instance mmap disks, a
+// per-island fault-RNG split, and the fabric experiment's 4x latency
+// amplification — each a deliberate one-time behavioral change.
 func TestQuickFingerprintGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode shrinks the quick grids; the golden file pins full quick mode")

@@ -7,6 +7,8 @@
 package ipc
 
 import (
+	"sync/atomic"
+
 	"islands/internal/exec"
 	"islands/internal/mem"
 	"islands/internal/sim"
@@ -72,8 +74,11 @@ const msgBytes = 512
 
 // FaultFunc consults the fault layer about one delivery: whether the
 // message is dropped, and if not, the factor to scale its wire latency by
-// (1 = healthy). Installed with SetFault; a nil hook means no faults.
-type FaultFunc func(from, to topology.CoreID) (drop bool, scale float64)
+// (1 = healthy). The sender's virtual time is passed so the fault layer can
+// evaluate its static windows without reading any clock of its own — the
+// hook may be called concurrently from different shards. Installed with
+// SetFault; a nil hook means no faults.
+type FaultFunc func(from, to topology.CoreID, now sim.Time) (drop bool, scale float64)
 
 // Network connects endpoints over one mechanism on one machine.
 type Network[T any] struct {
@@ -84,10 +89,12 @@ type Network[T any] struct {
 	fault FaultFunc
 
 	// Messages counts deliveries; CrossSocket counts those that crossed the
-	// interconnect; Dropped counts sends the fault layer discarded.
-	Messages    uint64
-	CrossSocket uint64
-	Dropped     uint64
+	// interconnect; Dropped counts sends the fault layer discarded. Atomic
+	// because senders on different kernel shards bump them concurrently;
+	// order-independent sums, so the totals stay deterministic.
+	Messages    atomic.Uint64
+	CrossSocket atomic.Uint64
+	Dropped     atomic.Uint64
 }
 
 // NewNetwork builds a network for machine topo using mechanism m.
@@ -115,9 +122,17 @@ type Endpoint[T any] struct {
 	q    *sim.Queue[T]
 }
 
-// NewEndpoint creates a mailbox homed at core c.
+// NewEndpoint creates a mailbox homed at core c, owned by the kernel's
+// default domain.
 func (n *Network[T]) NewEndpoint(c topology.CoreID) *Endpoint[T] {
 	return &Endpoint[T]{net: n, home: c, q: sim.NewQueue[T](n.k)}
+}
+
+// NewEndpointIn creates a mailbox homed at core c and owned by domain d —
+// deliveries execute on d's shard, so the endpoint's consumer must run
+// there too.
+func (n *Network[T]) NewEndpointIn(d *sim.Domain, c topology.CoreID) *Endpoint[T] {
+	return &Endpoint[T]{net: n, home: c, q: sim.NewQueueIn[T](d)}
 }
 
 // Home returns the endpoint's anchor core.
@@ -145,12 +160,15 @@ func (n *Network[T]) Send(ctx *exec.Ctx, to *Endpoint[T], msg T) {
 	prev := ctx.Bucket(exec.BComm)
 	ctx.Charge(n.costs.SendCPU)
 	ctx.Bucket(prev)
-	n.Messages++
+	n.Messages.Add(1)
 	cross := !n.topo.SameSocket(ctx.Core, to.home)
 	if cross {
-		n.CrossSocket++
+		n.CrossSocket.Add(1)
 	}
 	if n.model != nil {
+		// PerCore is indexed by the sender's core; shard-eligible
+		// deployments give instances disjoint core sets, so this write is
+		// always shard-local.
 		st := &n.model.PerCore[ctx.Core]
 		st.IMCBytes += msgBytes
 		if cross {
@@ -161,16 +179,19 @@ func (n *Network[T]) Send(ctx *exec.Ctx, to *Endpoint[T], msg T) {
 	if n.fault != nil {
 		// The sender already paid its CPU and memory traffic: a dropped
 		// message costs the sender everything and the receiver nothing.
-		drop, scale := n.fault(ctx.Core, to.home)
+		drop, scale := n.fault(ctx.Core, to.home, ctx.P.Now())
 		if drop {
-			n.Dropped++
+			n.Dropped.Add(1)
 			return
 		}
 		if scale != 1 {
 			lat = sim.Time(float64(lat) * scale)
 		}
 	}
-	to.q.PushAfter(lat, msg)
+	// Delivery is keyed by the sender's domain: cross-shard sends route
+	// through the destination shard's inbound mailbox under the kernel's
+	// conservative lookahead (wireLatency is floored by it by construction).
+	to.q.PushAfterFrom(ctx.P.Domain(), lat, msg)
 }
 
 // Clear discards every queued message in the endpoint's mailbox, returning

@@ -96,8 +96,8 @@ func TestSendChargesSenderAndBillsBComm(t *testing.T) {
 		}
 	})
 	k.Run()
-	if net.Messages != 1 || net.CrossSocket != 1 {
-		t.Errorf("Messages=%d CrossSocket=%d", net.Messages, net.CrossSocket)
+	if net.Messages.Load() != 1 || net.CrossSocket.Load() != 1 {
+		t.Errorf("Messages=%d CrossSocket=%d", net.Messages.Load(), net.CrossSocket.Load())
 	}
 }
 

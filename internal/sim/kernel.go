@@ -1,8 +1,11 @@
 package sim
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
-// event is a single entry in the kernel's timeline. Exactly one payload form
+// event is a single entry in a shard's timeline. Exactly one payload form
 // is set:
 //
 //   - proc: wake the Proc (hand control to its coroutine);
@@ -23,13 +26,24 @@ type event struct {
 	fn    func()
 	fnArg func(uint32)
 	arg   uint32
+	dom   int32
 }
 
-// before orders events by (at, seq): timestamp first, insertion order on
-// ties, which is what makes runs deterministic.
+// before orders events by (at, dom, seq): timestamp first, then the
+// scheduling domain's id, then that domain's private sequence counter.
+// The key is intrinsic to the *scheduling* domain — assigned when the event
+// is created, never reassigned when it crosses a shard boundary — which is
+// what makes the execution order independent of how domains are mapped onto
+// shards: the same events carry the same keys whether they were inserted
+// directly into a shared heap or merged from another shard's outbox. With a
+// single domain the key degenerates to the classic (at, insertion-order)
+// FIFO tie-break.
 func (e *event) before(o *event) bool {
 	if e.at != o.at {
 		return e.at < o.at
+	}
+	if e.dom != o.dom {
+		return e.dom < o.dom
 	}
 	return e.seq < o.seq
 }
@@ -103,78 +117,71 @@ const (
 	maxHorizon Time = math.MaxInt64
 )
 
-// Kernel owns the virtual clock, the event queue, and all Procs.
-// It is not safe for concurrent use; the simulation itself provides all the
-// concurrency that is being modeled.
-type Kernel struct {
-	now  Time
-	seq  uint64
-	heap timerHeap
+// shard is one independently-advancing slice of the timeline: a clock, an
+// event heap, and an inbound mailbox for events scheduled by domains living
+// on other shards. A single-shard kernel is exactly the classic sequential
+// kernel; a multi-shard kernel runs each shard's events on its own goroutine
+// between conservative synchronization barriers (see parallel.go).
+type shard struct {
+	k  *Kernel
+	id int
+
+	now Time
 
 	// horizon bounds the kernel-context fast path: a Proc may consume
 	// virtual time inline (without parking in the heap and handing control
-	// to the kernel goroutine) only up to this timestamp. Run lifts it to
-	// maxHorizon; RunUntil(t) sets it to t so the clock never overshoots;
-	// single Step calls pin it to noHorizon so exactly one event runs.
+	// to the event loop) only up to this timestamp. Run lifts it to
+	// maxHorizon; RunUntil(t) sets it to t; windowed parallel execution pins
+	// it to the window's limit; single Step calls pin it to noHorizon so
+	// exactly one event runs.
 	horizon Time
 
-	procs   []*Proc
+	heap    timerHeap
 	nEvents uint64
+
+	// inbox receives events scheduled cross-shard, already carrying their
+	// final (at, dom, seq) keys; the coordinator folds them into the heap at
+	// window barriers, which is safe because conservative lookahead
+	// guarantees they are due no earlier than the next window.
+	inMu  sync.Mutex
+	inbox []event
+
+	// Worker-goroutine plumbing; nil until a multi-shard run starts.
+	limit    chan Time
+	panicked any
 }
 
-// NewKernel returns an empty kernel at virtual time zero.
-func NewKernel() *Kernel {
-	return &Kernel{horizon: noHorizon}
-}
-
-// Now returns the current virtual time.
-func (k *Kernel) Now() Time { return k.now }
-
-// Events returns the number of events executed so far (a determinism probe
-// and a rough measure of simulation effort). Events that the fast path
-// elides from the heap — a Proc bumping the clock for its own wakeup — are
-// counted exactly as if they had been queued and popped, so the counter is
-// identical across fast- and slow-path executions.
-func (k *Kernel) Events() uint64 { return k.nEvents }
-
-// Pending returns the number of events waiting in the timeline.
-func (k *Kernel) Pending() int { return k.heap.len() }
-
-func (k *Kernel) clamp(at Time) Time {
-	if at < k.now {
-		return k.now
+func (sh *shard) clamp(at Time) Time {
+	if at < sh.now {
+		return sh.now
 	}
 	return at
 }
 
-func (k *Kernel) scheduleFn(at Time, fn func()) {
-	k.seq++
-	k.heap.push(event{at: k.clamp(at), seq: k.seq, fn: fn})
-}
-
-func (k *Kernel) scheduleProc(at Time, p *Proc) {
-	k.seq++
-	k.heap.push(event{at: k.clamp(at), seq: k.seq, proc: p})
-}
-
-func (k *Kernel) scheduleArg(at Time, fn func(uint32), arg uint32) {
-	k.seq++
-	k.heap.push(event{at: k.clamp(at), seq: k.seq, fnArg: fn, arg: arg})
-}
-
-// After schedules fn to run in kernel context d from now.
-// fn must not block; it may push to queues, unpark procs, or schedule more
-// events.
-func (k *Kernel) After(d Time, fn func()) {
-	k.scheduleFn(k.now+d, fn)
+// step executes the next event under the current horizon.
+func (sh *shard) step() bool {
+	if sh.heap.empty() {
+		return false
+	}
+	e := sh.heap.pop()
+	sh.now = e.at
+	sh.nEvents++
+	sh.dispatch(&e)
+	return true
 }
 
 // dispatch executes one popped event. Proc panics and kernel-context
-// callback panics both unwind through here into Step/Run.
-func (k *Kernel) dispatch(e *event) {
+// callback panics both unwind through here into Step/Run (on a worker
+// goroutine they are captured and re-raised at the window barrier).
+func (sh *shard) dispatch(e *event) {
 	switch {
 	case e.proc != nil:
-		k.wake(e.proc)
+		p := e.proc
+		if p.dead {
+			return
+		}
+		p.started = true
+		p.next()
 	case e.fn != nil:
 		e.fn()
 	default:
@@ -182,67 +189,193 @@ func (k *Kernel) dispatch(e *event) {
 	}
 }
 
-// step executes the next event under the current horizon.
-func (k *Kernel) step() bool {
-	if k.heap.empty() {
-		return false
-	}
-	e := k.heap.pop()
-	k.now = e.at
-	k.nEvents++
-	k.dispatch(&e)
-	return true
+// Kernel owns the virtual clocks, the event shards, and all Procs.
+// A single-shard kernel (NewKernel) is not safe for concurrent use; the
+// simulation itself provides all the concurrency that is being modeled. A
+// multi-shard kernel (NewSharded) runs its shards concurrently internally,
+// but its public methods must still be called from one driver goroutine.
+type Kernel struct {
+	shards  []*shard
+	domains []*Domain
+
+	// la is the conservative lookahead: the minimum virtual delay of any
+	// cross-shard delivery. Each synchronization window executes every event
+	// in [m, m+la) in parallel, m being the global minimum next-event time —
+	// sound because an event at t >= m can only schedule cross-shard work at
+	// t+la >= m+la, i.e. beyond the window.
+	la Time
+
+	procMu sync.Mutex
+	procs  []*Proc
+
+	workersOn bool
+	wg        sync.WaitGroup
 }
+
+// NewKernel returns an empty single-shard kernel at virtual time zero.
+func NewKernel() *Kernel { return NewSharded(1, 0) }
+
+// NewSharded returns a kernel with the given number of event shards and
+// conservative lookahead. Lookahead must be positive when shards > 1: it is
+// the floor under every cross-shard delivery delay (PushAfterFrom panics on
+// anything shorter), and the window width that lets shards advance without
+// waiting on each other. Domains created with NewDomain choose their shard;
+// determinism is independent of that mapping, so NewSharded(1, la) and
+// NewSharded(n, la) produce bit-identical simulations.
+func NewSharded(shards int, lookahead Time) *Kernel {
+	if shards < 1 {
+		panic("sim: kernel needs >= 1 shard")
+	}
+	if shards > 1 && lookahead <= 0 {
+		panic("sim: a multi-shard kernel needs a positive conservative lookahead")
+	}
+	k := &Kernel{la: lookahead}
+	k.shards = make([]*shard, shards)
+	for i := range k.shards {
+		k.shards[i] = &shard{k: k, id: i, horizon: noHorizon}
+	}
+	k.domains = []*Domain{{sh: k.shards[0], id: 0}}
+	return k
+}
+
+// Shards returns the number of event shards.
+func (k *Kernel) Shards() int { return len(k.shards) }
+
+// Lookahead returns the conservative lookahead (0 for single-shard kernels
+// built by NewKernel).
+func (k *Kernel) Lookahead() Time { return k.la }
+
+// Now returns the current virtual time. Between Run/RunUntil calls every
+// shard's clock agrees; while a multi-shard window is executing, per-shard
+// clocks diverge within the window and Proc.Now/Domain.Now are the
+// authoritative local clocks.
+func (k *Kernel) Now() Time { return k.shards[0].now }
+
+func (k *Kernel) maxNow() Time {
+	t := k.shards[0].now
+	for _, sh := range k.shards[1:] {
+		if sh.now > t {
+			t = sh.now
+		}
+	}
+	return t
+}
+
+// Events returns the number of events executed so far (a determinism probe
+// and a rough measure of simulation effort), summed deterministically over
+// shards. Events that the fast path elides from the heap — a Proc bumping
+// the clock for its own wakeup — are counted exactly as if they had been
+// queued and popped, so the counter is identical across fast- and slow-path
+// executions and across every shard count: the per-shard partition of the
+// total varies with the domain-to-shard mapping, the sum never does.
+func (k *Kernel) Events() uint64 {
+	var n uint64
+	for _, sh := range k.shards {
+		n += sh.nEvents
+	}
+	return n
+}
+
+// Pending returns the number of events waiting in the timeline: the
+// deterministic sum over every shard's heap plus its not-yet-merged inbound
+// mailbox. Like Events, the split varies with the shard mapping but the sum
+// is mapping-invariant.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, sh := range k.shards {
+		n += sh.heap.len()
+		sh.inMu.Lock()
+		n += len(sh.inbox)
+		sh.inMu.Unlock()
+	}
+	return n
+}
+
+// After schedules fn to run in kernel context d from now, on the default
+// domain. fn must not block; it may push to queues, unpark procs, or
+// schedule more events.
+func (k *Kernel) After(d Time, fn func()) { k.domains[0].After(d, fn) }
 
 // Step executes the next event, if any, and reports whether one ran.
 // Procs woken by the event park in the heap for any further time they
-// consume, so repeated Step calls interleave exactly like Run.
+// consume, so repeated Step calls interleave exactly like Run. On a
+// multi-shard kernel the globally-earliest event (by its canonical key)
+// runs, sequentially.
 func (k *Kernel) Step() bool {
-	k.horizon = noHorizon
-	return k.step()
+	if len(k.shards) > 1 {
+		return k.stepSharded()
+	}
+	sh := k.shards[0]
+	sh.horizon = noHorizon
+	return sh.step()
 }
 
 // Run executes events until the timeline is empty. Procs parked on empty
 // queues or condition variables do not keep the simulation alive.
 func (k *Kernel) Run() {
-	k.horizon = maxHorizon
-	for k.step() {
+	if len(k.shards) > 1 {
+		k.runSharded()
+		return
 	}
-	k.horizon = noHorizon
+	sh := k.shards[0]
+	sh.horizon = maxHorizon
+	for sh.step() {
+	}
+	sh.horizon = noHorizon
 }
 
 // RunUntil executes events with timestamps <= t and then advances the clock
-// to exactly t.
+// to exactly t (every shard's clock, on a multi-shard kernel).
 func (k *Kernel) RunUntil(t Time) {
-	k.horizon = t
-	for !k.heap.empty() && k.heap.ev[0].at <= t {
-		k.step()
+	if len(k.shards) > 1 {
+		k.runUntilSharded(t)
+		return
 	}
-	k.horizon = noHorizon
-	if k.now < t {
-		k.now = t
+	sh := k.shards[0]
+	sh.horizon = t
+	for !sh.heap.empty() && sh.heap.ev[0].at <= t {
+		sh.step()
+	}
+	sh.horizon = noHorizon
+	if sh.now < t {
+		sh.now = t
 	}
 }
 
 // RunFor executes events for d of virtual time from now.
-func (k *Kernel) RunFor(d Time) { k.RunUntil(k.now + d) }
+func (k *Kernel) RunFor(d Time) { k.RunUntil(k.maxNow() + d) }
 
-// Close kills every live Proc so their coroutines exit. The kernel must be
-// idle (called from outside Run). A closed kernel must not be reused.
+// Close kills every live Proc so their coroutines exit, and stops any shard
+// worker goroutines. The kernel must be idle (called from outside Run). A
+// closed kernel must not be reused.
 func (k *Kernel) Close() {
-	for _, p := range k.procs {
+	if k.workersOn {
+		k.workersOn = false
+		for _, sh := range k.shards {
+			close(sh.limit)
+		}
+	}
+	k.procMu.Lock()
+	procs := k.procs
+	k.procs = nil
+	k.procMu.Unlock()
+	for _, p := range procs {
 		if !p.dead {
 			p.stop()
 		}
 		p.dead = true
 	}
-	k.procs = nil
-	k.heap.ev = nil
+	for _, sh := range k.shards {
+		sh.heap.ev = nil
+		sh.inbox = nil
+	}
 }
 
 // LiveProcs returns the number of procs that have started and not finished,
 // useful for detecting stuck simulations in tests.
 func (k *Kernel) LiveProcs() int {
+	k.procMu.Lock()
+	defer k.procMu.Unlock()
 	n := 0
 	for _, p := range k.procs {
 		if p.started && !p.dead {

@@ -1,0 +1,170 @@
+package sim
+
+import "sync"
+
+// Conservative windowed execution for multi-shard kernels.
+//
+// The algorithm is YAWNS-style synchronous windowing. Let m be the global
+// minimum next-event timestamp over all shard heaps (inboxes freshly merged)
+// and la the kernel's lookahead. Every event in [m, m+la) can be executed
+// without inter-shard coordination: an event executing at e >= m can only
+// schedule cross-shard work at e+dur >= m+la (PushAfterFrom enforces
+// dur >= la), i.e. strictly beyond the window, so nothing that happens in
+// this window can inject new work into it. Each window therefore:
+//
+//  1. merges every shard's inbound mailbox into its heap (entries are due
+//     at >= the previous window's limit+1, so clocks never regress);
+//  2. computes m and the window limit W-1 = min(m+la-1, t);
+//  3. releases all shard workers to execute their events with at <= W-1 in
+//     parallel, horizon pinned to W-1 so proc fast-path advances stay
+//     inside the window;
+//  4. joins at a barrier; panics captured on workers re-raise here,
+//     lowest shard id first, so failures surface deterministically.
+//
+// Progress is guaranteed: the shard holding the event at m always executes
+// at least that event. Determinism needs no cross-window reasoning beyond
+// the event keys: each shard executes its own events in (at, dom, seq)
+// order, and events on different shards in the same window are causally
+// independent by the lookahead argument, so their relative wall-clock order
+// cannot affect simulation state.
+
+// startWorkers launches one persistent goroutine per shard, fed window
+// limits over a channel. Workers live until Close.
+func (k *Kernel) startWorkers() {
+	if k.workersOn {
+		return
+	}
+	k.workersOn = true
+	for _, sh := range k.shards {
+		sh.limit = make(chan Time, 1)
+		go sh.serve(&k.wg)
+	}
+}
+
+// serve is the worker goroutine body: one window per received limit. A
+// panic inside the window is captured so the barrier always completes; the
+// coordinator re-raises it.
+func (sh *shard) serve(wg *sync.WaitGroup) {
+	for limit := range sh.limit {
+		sh.runTo(limit)
+		wg.Done()
+	}
+}
+
+func (sh *shard) runTo(limit Time) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.panicked = r
+		}
+	}()
+	for !sh.heap.empty() && sh.heap.ev[0].at <= limit {
+		sh.step()
+	}
+}
+
+// runWindow executes one synchronized window: every shard runs its events
+// with at <= limit on its own goroutine, then the coordinator joins them.
+func (k *Kernel) runWindow(limit Time) {
+	k.wg.Add(len(k.shards))
+	for _, sh := range k.shards {
+		sh.horizon = limit
+		sh.limit <- limit
+	}
+	k.wg.Wait()
+	for _, sh := range k.shards {
+		sh.horizon = noHorizon
+		if r := sh.panicked; r != nil {
+			sh.panicked = nil
+			panic(r)
+		}
+	}
+}
+
+// drainInboxes folds every shard's inbound mailbox into its heap. Only
+// called at barriers (no worker running), but the mailbox mutex is still
+// taken: a Go memory-model happens-before edge with the sending shard's
+// last window is established by the barrier's WaitGroup, and the lock keeps
+// -race provably clean if a send raced the final window edge.
+func (k *Kernel) drainInboxes() {
+	for _, sh := range k.shards {
+		sh.inMu.Lock()
+		for _, e := range sh.inbox {
+			sh.heap.push(e)
+		}
+		sh.inbox = sh.inbox[:0]
+		sh.inMu.Unlock()
+	}
+}
+
+// nextEventTime returns the minimum next-event timestamp across shard heaps.
+func (k *Kernel) nextEventTime() (Time, bool) {
+	var m Time
+	ok := false
+	for _, sh := range k.shards {
+		if sh.heap.empty() {
+			continue
+		}
+		if at := sh.heap.ev[0].at; !ok || at < m {
+			m = at
+			ok = true
+		}
+	}
+	return m, ok
+}
+
+func (k *Kernel) runSharded() {
+	k.startWorkers()
+	for {
+		k.drainInboxes()
+		m, ok := k.nextEventTime()
+		if !ok {
+			break
+		}
+		limit := m + k.la - 1
+		if limit < m { // overflow guard
+			limit = maxHorizon
+		}
+		k.runWindow(limit)
+	}
+}
+
+func (k *Kernel) runUntilSharded(t Time) {
+	k.startWorkers()
+	for {
+		k.drainInboxes()
+		m, ok := k.nextEventTime()
+		if !ok || m > t {
+			break
+		}
+		limit := t
+		if w := m + k.la - 1; w >= m && w < limit {
+			limit = w
+		}
+		k.runWindow(limit)
+	}
+	for _, sh := range k.shards {
+		if sh.now < t {
+			sh.now = t
+		}
+	}
+}
+
+// stepSharded executes the single globally-earliest event (by canonical
+// key), sequentially on the coordinator goroutine.
+func (k *Kernel) stepSharded() bool {
+	k.drainInboxes()
+	var best *shard
+	for _, sh := range k.shards {
+		if sh.heap.empty() {
+			continue
+		}
+		if best == nil || sh.heap.ev[0].before(&best.heap.ev[0]) {
+			best = sh
+		}
+	}
+	if best == nil {
+		return false
+	}
+	best.horizon = noHorizon
+	return best.step()
+}

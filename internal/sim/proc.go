@@ -1,6 +1,9 @@
 package sim
 
-import "iter"
+import (
+	"fmt"
+	"iter"
+)
 
 // killedError is the sentinel panic value used to unwind a Proc's coroutine
 // when the kernel is closed.
@@ -13,14 +16,15 @@ var errKilled = killedError{}
 // Proc is a simulated thread. Its function runs on a dedicated coroutine
 // (an iter.Pull goroutine that the kernel resumes with a direct switch, not
 // through the Go scheduler), and the kernel guarantees that at most one Proc
-// executes at a time, so Proc code may freely touch shared simulation state
-// without synchronization.
+// per shard executes at a time, so Proc code may freely touch simulation
+// state belonging to its own shard without synchronization.
 //
 // A Proc consumes virtual time only through Advance (or primitives built on
 // it); plain Go computation between kernel interactions is instantaneous in
 // virtual time.
 type Proc struct {
 	k    *Kernel
+	dom  *Domain
 	name string
 	id   int
 
@@ -35,26 +39,25 @@ type Proc struct {
 	fn      func(*Proc)
 }
 
-func (k *Kernel) newProc(name string, fn func(*Proc)) *Proc {
-	p := &Proc{k: k, name: name, id: len(k.procs), fn: fn}
+func (k *Kernel) newProc(d *Domain, name string, fn func(*Proc)) *Proc {
+	p := &Proc{k: k, dom: d, name: name, fn: fn}
 	p.next, p.stop = iter.Pull(p.body)
+	k.procMu.Lock()
+	p.id = len(k.procs)
 	k.procs = append(k.procs, p)
+	k.procMu.Unlock()
 	return p
 }
 
-// Spawn creates a Proc that begins running fn at the current virtual time.
-// The name is for diagnostics only.
+// Spawn creates a Proc on the default domain that begins running fn at the
+// current virtual time. The name is for diagnostics only.
 func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
-	p := k.newProc(name, fn)
-	k.scheduleProc(k.now, p)
-	return p
+	return k.domains[0].Spawn(name, fn)
 }
 
 // SpawnAt is Spawn with a start delay.
 func (k *Kernel) SpawnAt(d Time, name string, fn func(*Proc)) *Proc {
-	p := k.newProc(name, fn)
-	k.scheduleProc(k.now+d, p)
-	return p
+	return k.domains[0].SpawnAt(d, name, fn)
 }
 
 // Name returns the diagnostic name given at Spawn.
@@ -66,19 +69,11 @@ func (p *Proc) ID() int { return p.id }
 // Kernel returns the owning kernel.
 func (p *Proc) Kernel() *Kernel { return p.k }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() Time { return p.k.now }
+// Domain returns the determinism domain the Proc belongs to.
+func (p *Proc) Domain() *Domain { return p.dom }
 
-// wake transfers control to p's coroutine and returns when p yields back
-// (by advancing, parking, or finishing). A panic in p propagates out of the
-// resume, i.e. up through Step/Run to the simulation driver.
-func (k *Kernel) wake(p *Proc) {
-	if p.dead {
-		return
-	}
-	p.started = true
-	p.next()
-}
+// Now returns the current virtual time on the Proc's shard.
+func (p *Proc) Now() Time { return p.dom.sh.now }
 
 // body is the coroutine entry point.
 func (p *Proc) body(yield func(struct{}) bool) {
@@ -104,44 +99,46 @@ func (p *Proc) yieldWait() {
 
 // Advance consumes d of virtual time. Negative d is treated as zero.
 //
-// Fast path: when every event due before now+d is a kernel-context callback
-// (and the kernel's run horizon covers the target), the Proc runs those
-// callbacks inline, in timestamp order, and bumps the clock itself — zero
-// coroutine switches and zero heap traffic for its own wakeup. The advancing
-// Proc temporarily is the kernel's event loop. Only when another Proc is
-// scheduled to run first does Advance park in the timer heap and hand
-// control back. Event order, timestamps, and Kernel.Events() are identical
-// on both paths.
+// Fast path: when every event due before now+d on this shard is a
+// kernel-context callback (and the shard's run horizon covers the target),
+// the Proc runs those callbacks inline, in canonical order, and bumps the
+// clock itself — zero coroutine switches and zero heap traffic for its own
+// wakeup. The advancing Proc temporarily is its shard's event loop. Only
+// when another Proc is scheduled to run first does Advance park in the
+// timer heap and hand control back. Event order, timestamps, and
+// Kernel.Events() are identical on both paths.
 func (p *Proc) Advance(d Time) {
 	if d < 0 {
 		d = 0
 	}
-	k := p.k
-	target := k.now + d
-	// Reserve our wake event's sequence number before running anything
-	// inline, so events that inline callbacks schedule at exactly `target`
-	// order after us — just as they would if we had parked first.
-	k.seq++
-	seq := k.seq
-	if target <= k.horizon {
+	dom := p.dom
+	sh := dom.sh
+	target := sh.now + d
+	// Reserve our wake event's key before running anything inline, so events
+	// that inline callbacks schedule at exactly `target` order after us —
+	// just as they would if we had parked first.
+	dom.seq++
+	seq := dom.seq
+	if target <= sh.horizon {
 		for {
-			if k.heap.empty() {
-				k.now = target
-				k.nEvents++ // our elided wake event
+			if sh.heap.empty() {
+				sh.now = target
+				sh.nEvents++ // our elided wake event
 				return
 			}
-			min := &k.heap.ev[0]
-			if min.at > target || (min.at == target && min.seq > seq) {
-				k.now = target
-				k.nEvents++
+			min := &sh.heap.ev[0]
+			if min.at > target ||
+				(min.at == target && (min.dom > dom.id || (min.dom == dom.id && min.seq > seq))) {
+				sh.now = target
+				sh.nEvents++
 				return
 			}
 			if min.proc != nil {
 				break // another Proc runs first: real handoff
 			}
-			e := k.heap.pop()
-			k.now = e.at
-			k.nEvents++
+			e := sh.heap.pop()
+			sh.now = e.at
+			sh.nEvents++
 			if e.fn != nil {
 				e.fn()
 			} else {
@@ -149,12 +146,12 @@ func (p *Proc) Advance(d Time) {
 			}
 		}
 	}
-	k.heap.push(event{at: target, seq: seq, proc: p})
+	sh.heap.push(event{at: target, dom: dom.id, seq: seq, proc: p})
 	p.yieldWait()
 }
 
 // Yield reschedules the Proc at the current time, letting other ready Procs
-// run first (FIFO within the same timestamp).
+// run first (FIFO within the same timestamp and domain).
 func (p *Proc) Yield() { p.Advance(0) }
 
 // Park blocks the Proc until another Proc (or a timer) unparks it.
@@ -163,9 +160,12 @@ func (p *Proc) Yield() { p.Advance(0) }
 func (p *Proc) Park() { p.yieldWait() }
 
 // Unpark schedules the Proc to resume at the current virtual time.
-// It must be called from another Proc's goroutine or a kernel-context fn,
-// never for a Proc that is currently running.
-func (p *Proc) Unpark() { p.k.scheduleProc(p.k.now, p) }
+// It must be called from another Proc's goroutine or a kernel-context fn on
+// the same shard, never for a Proc that is currently running.
+func (p *Proc) Unpark() { schedProc(p.dom.sh.now, p) }
 
 // UnparkAfter schedules the Proc to resume d from now.
-func (p *Proc) UnparkAfter(d Time) { p.k.scheduleProc(p.k.now+d, p) }
+func (p *Proc) UnparkAfter(d Time) { schedProc(p.dom.sh.now+d, p) }
+
+// String implements fmt.Stringer for diagnostics.
+func (p *Proc) String() string { return fmt.Sprintf("proc %d (%s)", p.id, p.name) }

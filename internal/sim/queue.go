@@ -1,15 +1,22 @@
 package sim
 
+import "fmt"
+
 // Queue is an unbounded virtual-time FIFO channel between Procs.
 // Pop blocks the calling Proc until an item is available. PushAfter models
 // delivery latency (e.g. a message crossing the interconnect).
+//
+// A queue is owned by a domain (NewQueueIn); its consumers and same-shard
+// producers run on that domain's shard. Producers on *other* shards must use
+// PushAfterFrom, which routes through the destination shard's inbound
+// mailbox under the kernel's conservative lookahead.
 //
 // A queue can alternatively feed a kernel-context consumer registered with
 // PopFunc: items are then handed to the callback synchronously at delivery
 // time, with no Proc, no parking, and no goroutine switches — the fast path
 // for service loops whose handlers never block.
 type Queue[T any] struct {
-	k       *Kernel
+	dom     *Domain
 	items   fifo[T]
 	waiters fifo[*Proc]
 	popFn   func(T)
@@ -28,14 +35,20 @@ type Queue[T any] struct {
 	MaxDepth int
 }
 
-// NewQueue returns an empty queue bound to k.
+// NewQueue returns an empty queue owned by k's default domain.
 func NewQueue[T any](k *Kernel) *Queue[T] {
-	return &Queue[T]{k: k}
+	return NewQueueIn[T](k.DefaultDomain())
+}
+
+// NewQueueIn returns an empty queue owned by domain d.
+func NewQueueIn[T any](d *Domain) *Queue[T] {
+	return &Queue[T]{dom: d}
 }
 
 // Push enqueues v immediately and wakes one waiting Proc, if any.
 // It never blocks, so it may be called from kernel-context functions.
 // With a PopFunc registered, v is handed to the consumer instead.
+// Must be called from the owning domain's shard.
 func (q *Queue[T]) Push(v T) {
 	q.Pushes++
 	if q.popFn != nil {
@@ -52,8 +65,45 @@ func (q *Queue[T]) Push(v T) {
 	}
 }
 
-// PushAfter enqueues v after d of virtual time has passed.
+// PushAfter enqueues v after d of virtual time has passed, keyed by the
+// queue's own domain. Must be called from the owning domain's shard.
 func (q *Queue[T]) PushAfter(d Time, v T) {
+	q.pushAfterKeyed(q.dom, d, v)
+}
+
+// PushAfterFrom enqueues v after dur of virtual time, keyed by the
+// scheduling domain src — the one whose activity causes the delivery (a
+// message's sender). The (at, src, srcSeq) key is assigned here, at schedule
+// time, so delivery order is identical whether src and the queue share a
+// shard or not.
+//
+// When src lives on a different shard than the queue's owner, the event is
+// routed through the destination shard's inbound mailbox; dur must then be
+// at least the kernel's conservative lookahead, or the delivery could land
+// inside the destination's current execution window and break determinism —
+// that is a topology-wiring bug, and PushAfterFrom panics loudly rather
+// than silently corrupting the timeline.
+func (q *Queue[T]) PushAfterFrom(src *Domain, dur Time, v T) {
+	dst := q.dom.sh
+	if src.sh == dst {
+		q.pushAfterKeyed(src, dur, v)
+		return
+	}
+	k := dst.k
+	if dur < k.la {
+		panic(fmt.Sprintf(
+			"sim: cross-shard delivery after %d violates the kernel's conservative lookahead %d; "+
+				"cross-shard sends must be delayed by at least the minimum cross-island wire latency "+
+				"(same-island traffic belongs on a single shard)", dur, k.la))
+	}
+	src.seq++
+	e := event{at: src.sh.now + dur, dom: src.id, seq: src.seq, fn: func() { q.Push(v) }}
+	dst.inMu.Lock()
+	dst.inbox = append(dst.inbox, e)
+	dst.inMu.Unlock()
+}
+
+func (q *Queue[T]) pushAfterKeyed(src *Domain, d Time, v T) {
 	if q.deliver == nil {
 		q.deliver = q.deliverSlot
 	}
@@ -66,7 +116,7 @@ func (q *Queue[T]) PushAfter(d Time, v T) {
 		slot = uint32(len(q.slots))
 		q.slots = append(q.slots, v)
 	}
-	q.k.scheduleArg(q.k.now+d, q.deliver, slot)
+	src.scheduleArg(q.dom.sh.now+d, q.deliver, slot)
 }
 
 func (q *Queue[T]) deliverSlot(slot uint32) {

@@ -102,7 +102,7 @@ func DefaultOptions() Options {
 
 // Manager is the per-instance log.
 type Manager struct {
-	k    *sim.Kernel
+	dom  *sim.Domain
 	opts Options
 
 	mu       sim.Mutex
@@ -137,7 +137,9 @@ type flushWaiter struct {
 	p   *sim.Proc
 }
 
-// NewManager starts a log manager and its flush daemon on kernel k.
+// NewManager starts a log manager and its flush daemon on domain dom —
+// the owning instance's island domain, so flush timers execute on the
+// island's shard.
 // The daemon models a dedicated log-writer thread; its CPU use is negligible
 // and it does not compete for worker cores. It runs as a kernel-context
 // callback chain (beginBatch -> completeBatch), not a Proc: group-commit
@@ -145,11 +147,11 @@ type flushWaiter struct {
 // wakeups cost no goroutine switches. The startup event mirrors the daemon
 // thread launch of a Proc-based flusher, keeping kernel event counts
 // comparable across implementations.
-func NewManager(k *sim.Kernel, opts Options) *Manager {
-	m := &Manager{k: k, opts: opts, flusherIdle: true}
+func NewManager(dom *sim.Domain, opts Options) *Manager {
+	m := &Manager{dom: dom, opts: opts, flusherIdle: true}
 	m.beginFn = m.beginBatch
 	m.completeFn = m.completeBatch
-	k.After(0, m.start)
+	dom.After(0, m.start)
 	return m
 }
 
@@ -225,7 +227,7 @@ func (m *Manager) Flush(ctx *exec.Ctx, lsn LSN) {
 	m.waiters = append(m.waiters, flushWaiter{lsn: lsn, p: ctx.P})
 	if m.flusherIdle {
 		m.flusherIdle = false
-		m.k.After(0, m.beginFn)
+		m.dom.After(0, m.beginFn)
 	}
 	ctx.Block(func() {
 		for m.durable < lsn {
@@ -246,7 +248,7 @@ func (m *Manager) beginBatch() {
 	} else {
 		m.flushTarget = m.waiters[0].lsn
 	}
-	m.k.After(m.opts.FlushLatency+m.extraFlush, m.completeFn)
+	m.dom.After(m.opts.FlushLatency+m.extraFlush, m.completeFn)
 }
 
 // completeBatch ends the in-flight device write and immediately starts the

@@ -20,7 +20,7 @@ func TestAppendAdvancesLSN(t *testing.T) {
 	k := sim.NewKernel()
 	defer k.Close()
 	model := mem.NewModel(topology.QuadSocket())
-	m := NewManager(k, DefaultOptions())
+	m := NewManager(k.DefaultDomain(), DefaultOptions())
 	k.Spawn("w", func(p *sim.Proc) {
 		ctx := ctxFor(p, model)
 		rec := Record{Type: RecUpdate, Txn: 1, Key: 5, Before: make([]byte, 100), After: make([]byte, 100)}
@@ -45,7 +45,7 @@ func TestFlushWaitsForDurability(t *testing.T) {
 	model := mem.NewModel(topology.QuadSocket())
 	opts := DefaultOptions()
 	opts.FlushLatency = 10 * sim.Microsecond
-	m := NewManager(k, opts)
+	m := NewManager(k.DefaultDomain(), opts)
 	var done sim.Time
 	k.Spawn("committer", func(p *sim.Proc) {
 		ctx := ctxFor(p, model)
@@ -68,7 +68,7 @@ func TestGroupCommitBatchesWaiters(t *testing.T) {
 	model := mem.NewModel(topology.QuadSocket())
 	opts := DefaultOptions()
 	opts.FlushLatency = 100 * sim.Microsecond
-	m := NewManager(k, opts)
+	m := NewManager(k.DefaultDomain(), opts)
 	const committers = 10
 	var latest sim.Time
 	for i := 0; i < committers; i++ {
@@ -101,7 +101,7 @@ func TestNoGroupCommitFlushesSerially(t *testing.T) {
 	opts := DefaultOptions()
 	opts.GroupCommit = false
 	opts.FlushLatency = 100 * sim.Microsecond
-	m := NewManager(k, opts)
+	m := NewManager(k.DefaultDomain(), opts)
 	const committers = 5
 	for i := 0; i < committers; i++ {
 		i := i
@@ -121,7 +121,7 @@ func TestFlushAlreadyDurableReturnsImmediately(t *testing.T) {
 	k := sim.NewKernel()
 	defer k.Close()
 	model := mem.NewModel(topology.QuadSocket())
-	m := NewManager(k, DefaultOptions())
+	m := NewManager(k.DefaultDomain(), DefaultOptions())
 	k.Spawn("c", func(p *sim.Proc) {
 		ctx := ctxFor(p, model)
 		lsn := m.Append(ctx, Record{Type: RecCommit, Txn: 1})
@@ -141,7 +141,7 @@ func TestRetainKeepsRecords(t *testing.T) {
 	model := mem.NewModel(topology.QuadSocket())
 	opts := DefaultOptions()
 	opts.Retain = true
-	m := NewManager(k, opts)
+	m := NewManager(k.DefaultDomain(), opts)
 	k.Spawn("w", func(p *sim.Proc) {
 		ctx := ctxFor(p, model)
 		m.Append(ctx, Record{Type: RecUpdate, Txn: 9, Table: 1, Key: 42})
@@ -163,7 +163,7 @@ func TestConsolidatedInsertSkipsMutex(t *testing.T) {
 	model := mem.NewModel(topology.QuadSocket())
 	opts := DefaultOptions()
 	opts.Consolidate = true
-	m := NewManager(k, opts)
+	m := NewManager(k.DefaultDomain(), opts)
 	k.Spawn("w", func(p *sim.Proc) {
 		ctx := ctxFor(p, model)
 		m.Append(ctx, Record{Type: RecUpdate, Txn: 1})

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math/rand"
+	"sync"
 
 	"islands/internal/engine"
 	"islands/internal/storage"
@@ -46,9 +47,15 @@ type microStream struct {
 // (instance, worker) stream and safe for the simulator's single-threaded
 // execution model.
 type Micro struct {
-	cfg     MicroConfig
-	part    PartitionInfo
-	zipfs   *zipfCache
+	cfg   MicroConfig
+	part  PartitionInfo
+	zipfs *zipfCache
+
+	// streams is lazily populated; each entry's content is a pure function
+	// of its (instance, worker) key and the seed, so creation order is
+	// irrelevant — the lock only makes concurrent first access from
+	// different kernel shards race-free.
+	mu      sync.RWMutex
 	streams map[[2]int32]*microStream
 }
 
@@ -62,14 +69,20 @@ func NewMicro(cfg MicroConfig, part PartitionInfo) *Micro {
 
 func (m *Micro) stream(inst engine.InstanceID, worker int) *microStream {
 	k := [2]int32{int32(inst), int32(worker)}
+	m.mu.RLock()
 	st := m.streams[k]
+	m.mu.RUnlock()
 	if st == nil {
-		st = &microStream{
-			rng:  rand.New(rand.NewSource(m.cfg.Seed + int64(inst)*1315423911 + int64(worker)*2654435761)),
-			ops:  make([]engine.Op, 0, m.cfg.RowsPerTxn),
-			seen: make(map[int64]bool, m.cfg.RowsPerTxn),
+		m.mu.Lock()
+		if st = m.streams[k]; st == nil {
+			st = &microStream{
+				rng:  rand.New(rand.NewSource(m.cfg.Seed + int64(inst)*1315423911 + int64(worker)*2654435761)),
+				ops:  make([]engine.Op, 0, m.cfg.RowsPerTxn),
+				seen: make(map[int64]bool, m.cfg.RowsPerTxn),
+			}
+			m.streams[k] = st
 		}
-		m.streams[k] = st
+		m.mu.Unlock()
 	}
 	return st
 }

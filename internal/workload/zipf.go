@@ -9,6 +9,7 @@ package workload
 import (
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Zipf samples ranks in [0, n) with P(k) proportional to 1/(k+1)^s, using
@@ -78,8 +79,12 @@ func (z *Zipf) Sample(rng *rand.Rand) int64 {
 }
 
 // zipfCache memoizes samplers by (n, s): partitions of equal size share one.
+// A sampler is a pure function of its key, so concurrent creation from
+// different kernel shards only needs the lock for map safety, not for
+// determinism.
 type zipfCache struct {
-	m map[zipfKey]*Zipf
+	mu sync.RWMutex
+	m  map[zipfKey]*Zipf
 }
 
 type zipfKey struct {
@@ -91,10 +96,16 @@ func newZipfCache() *zipfCache { return &zipfCache{m: make(map[zipfKey]*Zipf)} }
 
 func (c *zipfCache) get(n int64, s float64) *Zipf {
 	k := zipfKey{n, s}
+	c.mu.RLock()
 	z := c.m[k]
+	c.mu.RUnlock()
 	if z == nil {
-		z = NewZipf(n, s)
-		c.m[k] = z
+		c.mu.Lock()
+		if z = c.m[k]; z == nil {
+			z = NewZipf(n, s)
+			c.m[k] = z
+		}
+		c.mu.Unlock()
 	}
 	return z
 }
