@@ -12,12 +12,21 @@
 // the published ones.
 //
 // -benchjson runs the sharded-kernel scaling benchmark (one full deployment
-// cell on the 64-core scaling geometry, per shard count) through
+// cell on the 64-core scaling geometry, per fabric and shard count) through
 // testing.Benchmark and writes a machine-readable BENCH_<shortrev>.json —
-// benchmark name, ns/op, allocs/op, shard count, GOMAXPROCS, and the
-// committed-transaction count whose equality across shard counts is the
-// determinism self-check. -rev overrides the `git rev-parse --short HEAD`
-// revision stamp.
+// benchmark name, ns/op, allocs/op, shard count, GOMAXPROCS, kernel window
+// and wakeup counts, and the committed-transaction count whose equality
+// across shard counts is the determinism self-check. -rev overrides the
+// `git rev-parse --short HEAD` revision stamp.
+//
+// -baseline OLD.json (implies -benchjson) additionally prints a
+// per-benchmark comparison of the fresh run against a previously committed
+// BENCH json: speedup on ns/op and the window/wakeup deltas for records
+// both files contain.
+//
+// -cpuprofile and -memprofile write pprof profiles of whatever work the
+// invocation runs (experiments or benchmarks), for digging into the
+// simulator's own hot paths.
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 	"time"
@@ -42,10 +52,41 @@ func main() {
 	benchjson := flag.Bool("benchjson", false, "run the sharded scaling benchmark and write BENCH_<rev>.json")
 	benchout := flag.String("benchout", "", "output path for -benchjson ('-' = stdout; default BENCH_<rev>.json)")
 	rev := flag.String("rev", "", "revision stamp for -benchjson (default: git rev-parse --short HEAD)")
+	baseline := flag.String("baseline", "", "old BENCH json to compare against (implies -benchjson)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
-	if *benchjson {
-		if err := writeBenchJSON(*benchout, *rev); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "islandsbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "islandsbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "islandsbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "islandsbench: %v\n", err)
+			}
+		}()
+	}
+
+	if *benchjson || *baseline != "" {
+		if err := writeBenchJSON(*benchout, *rev, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "islandsbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -90,14 +131,20 @@ func main() {
 // benchRecord is one benchmark point of the BENCH json.
 type benchRecord struct {
 	Name        string  `json:"name"`
+	Fabric      string  `json:"fabric,omitempty"`
 	Shards      int     `json:"shards"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	// CommittedPerOp is the simulated committed-transaction count of one
-	// measurement window: identical across shard counts, or the kernel's
-	// determinism contract is broken.
+	// measurement window: identical across shard counts within one fabric,
+	// or the kernel's determinism contract is broken.
 	CommittedPerOp float64 `json:"committed_per_op"`
+	// WindowsPerOp / WakeupsPerOp are the kernel's synchronization-round
+	// and per-shard barrier-crossing counts of one measurement window
+	// (deterministic virtual-time quantities; 0 at shards=1).
+	WindowsPerOp float64 `json:"windows_per_op,omitempty"`
+	WakeupsPerOp float64 `json:"wakeups_per_op,omitempty"`
 }
 
 // benchFile is the BENCH_<rev>.json document.
@@ -124,33 +171,50 @@ func shortRev(explicit string) string {
 	return "unknown"
 }
 
-// writeBenchJSON sweeps BenchmarkShardedScaling's body over the shard
-// ladder via testing.Benchmark and writes the machine-readable record.
-// Progress goes to stderr; the json (path or stdout) carries only data.
-func writeBenchJSON(outPath, revFlag string) error {
+// runScaling measures one (fabric, shards) point through testing.Benchmark.
+// Fully-connected records keep the historical name ShardedScaling/shards=N
+// so new files compare against BENCH jsons from before the fabric sweep.
+func runScaling(fabric string, shards int) benchRecord {
+	name := fmt.Sprintf("ShardedScaling/shards=%d", shards)
+	if fabric != "full" {
+		name = fmt.Sprintf("ShardedScaling/fabric=%s/shards=%d", fabric, shards)
+	}
+	fmt.Fprintf(os.Stderr, "bench %s ...\n", name)
+	r := testing.Benchmark(func(b *testing.B) { bench.ShardedScalingOn(b, fabric, shards) })
+	return benchRecord{
+		Name:           name,
+		Fabric:         fabric,
+		Shards:         shards,
+		Iterations:     r.N,
+		NsPerOp:        float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp:    r.AllocsPerOp(),
+		CommittedPerOp: r.Extra["committed/op"],
+		WindowsPerOp:   r.Extra["windows/op"],
+		WakeupsPerOp:   r.Extra["wakeups/op"],
+	}
+}
+
+// writeBenchJSON sweeps the scaling benchmark over fabric x shard count via
+// testing.Benchmark and writes the machine-readable record; with a baseline
+// it then prints the comparison. Progress goes to stderr; the json (path or
+// stdout) carries only data.
+func writeBenchJSON(outPath, revFlag, baselinePath string) error {
 	doc := benchFile{
 		Rev:        shortRev(revFlag),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Geometry:   bench.ScalingGeometryLabel(),
 	}
-	for _, shards := range bench.ShardCounts() {
-		shards := shards
-		name := fmt.Sprintf("ShardedScaling/shards=%d", shards)
-		fmt.Fprintf(os.Stderr, "bench %s ...\n", name)
-		r := testing.Benchmark(func(b *testing.B) { bench.ShardedScaling(b, shards) })
-		doc.Benchmarks = append(doc.Benchmarks, benchRecord{
-			Name:           name,
-			Shards:         shards,
-			Iterations:     r.N,
-			NsPerOp:        float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp:    r.AllocsPerOp(),
-			CommittedPerOp: r.Extra["committed/op"],
-		})
-	}
-	for _, b := range doc.Benchmarks[1:] {
-		if b.CommittedPerOp != doc.Benchmarks[0].CommittedPerOp {
-			return fmt.Errorf("determinism check failed: %s committed %v, shards=1 committed %v",
-				b.Name, b.CommittedPerOp, doc.Benchmarks[0].CommittedPerOp)
+	for _, fabric := range bench.Fabrics() {
+		first := -1.0
+		for _, shards := range bench.ShardCounts() {
+			rec := runScaling(fabric, shards)
+			doc.Benchmarks = append(doc.Benchmarks, rec)
+			if first < 0 {
+				first = rec.CommittedPerOp
+			} else if rec.CommittedPerOp != first {
+				return fmt.Errorf("determinism check failed: %s committed %v, shards=1 committed %v",
+					rec.Name, rec.CommittedPerOp, first)
+			}
 		}
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
@@ -160,14 +224,76 @@ func writeBenchJSON(outPath, revFlag string) error {
 	data = append(data, '\n')
 	if outPath == "-" {
 		_, err := os.Stdout.Write(data)
-		return err
+		if err != nil {
+			return err
+		}
+	} else {
+		if outPath == "" {
+			outPath = "BENCH_" + doc.Rev + ".json"
+		}
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
 	}
-	if outPath == "" {
-		outPath = "BENCH_" + doc.Rev + ".json"
+	if baselinePath != "" {
+		return printBaseline(doc, baselinePath)
 	}
-	if err := os.WriteFile(outPath, data, 0o644); err != nil {
-		return err
+	return nil
+}
+
+// printBaseline compares the fresh run against an old BENCH json: per-record
+// ns/op speedup (old/new; > 1 is faster now) plus window and wakeup deltas
+// where both sides recorded them. Records only one side has are listed, not
+// compared — renaming a benchmark shows up instead of vanishing.
+func printBaseline(doc benchFile, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+	var base benchFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	old := make(map[string]benchRecord, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		old[b.Name] = b
+	}
+	fmt.Printf("vs %s (rev %s):\n", path, base.Rev)
+	fmt.Printf("  %-40s %12s %12s %8s\n", "benchmark", "old ms/op", "new ms/op", "speedup")
+	matched := 0
+	for _, b := range doc.Benchmarks {
+		o, ok := old[b.Name]
+		if !ok {
+			continue
+		}
+		matched++
+		line := fmt.Sprintf("  %-40s %12.1f %12.1f %7.2fx",
+			b.Name, o.NsPerOp/1e6, b.NsPerOp/1e6, o.NsPerOp/b.NsPerOp)
+		if o.WindowsPerOp > 0 && b.WindowsPerOp > 0 {
+			line += fmt.Sprintf("   windows %v -> %v", o.WindowsPerOp, b.WindowsPerOp)
+		}
+		fmt.Println(line)
+	}
+	if matched == 0 {
+		return fmt.Errorf("baseline %s: no benchmark names in common", path)
+	}
+	for _, b := range doc.Benchmarks {
+		if _, ok := old[b.Name]; !ok {
+			fmt.Printf("  %-40s %12s %12.1f     new\n", b.Name, "-", b.NsPerOp/1e6)
+		}
+	}
+	for _, o := range base.Benchmarks {
+		found := false
+		for _, b := range doc.Benchmarks {
+			if b.Name == o.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("  %-40s %12.1f %12s     gone\n", o.Name, o.NsPerOp/1e6, "-")
+		}
+	}
 	return nil
 }

@@ -5,12 +5,14 @@
 package bench
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
 	"islands/internal/core"
 	"islands/internal/harness"
 	"islands/internal/sim"
+	"islands/internal/topology"
 	"islands/internal/workload"
 )
 
@@ -23,6 +25,28 @@ var scalingGeometry = harness.Geometry{Sockets: 16, CoresPerSocket: 4}
 // ScalingGeometryLabel names the benchmark's machine for reports.
 func ScalingGeometryLabel() string { return scalingGeometry.Label() }
 
+// Fabrics returns the socket-fabric ladder the scaling benchmark sweeps:
+// fully connected (every pair one hop — the flattest case, where the
+// lookahead matrix is nearly uniform), the 16-socket ring (diameter 8 — the
+// distance-aware windows' best case), and the 4x4 torus in between.
+func Fabrics() []string { return []string{"full", "ring", "torus"} }
+
+// scalingGeometryOn returns the scaling geometry on the named fabric.
+func scalingGeometryOn(fabric string) harness.Geometry {
+	g := scalingGeometry
+	switch fabric {
+	case "full", "":
+		// Zero-value Interconnect: Geometry.Machine installs FullyConnected.
+	case "ring":
+		g.Interconnect = topology.Ring(16)
+	case "torus":
+		g.Interconnect = topology.Torus2D(4, 4)
+	default:
+		panic(fmt.Sprintf("bench: unknown fabric %q (want full, ring, or torus)", fabric))
+	}
+	return g
+}
+
 // ShardCounts returns the shard-count ladder ShardedScaling is swept over:
 // powers of two from the sequential kernel up to one shard per island,
 // regardless of host core count — on a single-CPU machine the multi-shard
@@ -32,29 +56,89 @@ func ShardCounts() []int {
 	return []int{1, 2, 4, 8, 16}
 }
 
+// LightThink is the client think time of the sub-saturated benchmark
+// variants: ~12x the unix-socket cross-wire floor, so each worker's event
+// stream has gaps a dozen global-min windows wide — the regime where
+// distance-aware per-shard limits jump a gap in one barrier round instead of
+// one round per lookahead.
+const LightThink = 200 * sim.Microsecond
+
+// scalingCell builds and starts one scaling-benchmark deployment: 16
+// per-socket islands on the named fabric, the paper's read-10 microbenchmark
+// at 20% multisite, with the given kernel shard count. globalMin selects the
+// windowing-policy ablation (pre-matrix single global window); think > 0
+// sub-saturates the cell with client think time.
+func scalingCell(fabric string, shards int, globalMin bool, think sim.Time) *core.Deployment {
+	m := scalingGeometryOn(fabric).Machine()
+	cfg := core.DefaultConfig(m, 16, 240000)
+	cfg.Seed = 42
+	cfg.Shards = shards
+	cfg.GlobalMinLookahead = globalMin
+	cfg.ThinkTime = think
+	d := core.NewDeployment(cfg)
+	d.Start(workload.NewMicro(workload.MicroConfig{
+		Table: 1, GlobalRows: 240000, RowsPerTxn: 10, PctMultisite: 0.2,
+		Seed: 43,
+	}, d.Part))
+	return d
+}
+
 // ShardedScaling measures one full deployment cell — build, load, run the
-// quick measurement window, tear down — on the scaling geometry with the
-// given kernel shard count: 16 per-socket islands, the paper's read-10
-// microbenchmark at 20% multisite. The committed-transaction count is
-// reported as a benchmark metric; it must be identical at every shard count
-// (the kernel's determinism contract), so a BENCH json is self-checking.
-func ShardedScaling(b *testing.B, shards int) {
+// quick measurement window, tear down — on the scaling geometry's
+// fully-connected fabric with the given kernel shard count. Equivalent to
+// ShardedScalingOn(b, "full", shards); kept under its historical name so
+// BENCH_<rev>.json records stay comparable across revisions.
+func ShardedScaling(b *testing.B, shards int) { ShardedScalingOn(b, "full", shards) }
+
+// ShardedScalingOn is ShardedScaling on the named fabric. The
+// committed-transaction count is reported as a benchmark metric; it must be
+// identical at every shard count within one fabric (the kernel's determinism
+// contract), so a BENCH json is self-checking. windows/op reports the
+// kernel's global synchronization rounds and wakeups/op the per-shard
+// barrier crossings — the overhead the distance-aware lookahead matrix
+// shrinks on high-diameter fabrics (see Kernel.Wakeups for why the round
+// count itself is a policy invariant under saturation).
+func ShardedScalingOn(b *testing.B, fabric string, shards int) {
+	shardedScalingCell(b, fabric, shards, 0)
+}
+
+// ShardedLightLoad is the sub-saturated companion of ShardedScalingOn: the
+// same cell with LightThink of client think time per transaction. This is
+// the regime the distance-aware lookahead matrix targets — sparse event
+// streams on a high-diameter fabric — and the windows/op and wakeups/op
+// metrics show the reduction directly.
+func ShardedLightLoad(b *testing.B, fabric string, shards int) {
+	shardedScalingCell(b, fabric, shards, LightThink)
+}
+
+func shardedScalingCell(b *testing.B, fabric string, shards int, think sim.Time) {
 	b.ReportAllocs()
-	var committed uint64
+	var committed, windows, wakeups uint64
 	for i := 0; i < b.N; i++ {
-		m := scalingGeometry.Machine()
-		cfg := core.DefaultConfig(m, 16, 240000)
-		cfg.Seed = 42
-		cfg.Shards = shards
-		d := core.NewDeployment(cfg)
-		d.Start(workload.NewMicro(workload.MicroConfig{
-			Table: 1, GlobalRows: 240000, RowsPerTxn: 10, PctMultisite: 0.2,
-			Seed: 43,
-		}, d.Part))
+		d := scalingCell(fabric, shards, false, think)
 		res := d.Run(500*sim.Microsecond, 3*sim.Millisecond)
+		windows = d.Kernel.Windows()
+		wakeups = d.Kernel.Wakeups()
 		d.Close()
 		committed = res.Committed
 	}
 	b.ReportMetric(float64(committed), "committed/op")
+	b.ReportMetric(float64(windows), "windows/op")
+	b.ReportMetric(float64(wakeups), "wakeups/op")
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}
+
+// WindowCount runs one scaling cell (untimed, think of client think time)
+// and returns the kernel's synchronization counters and the committed
+// transactions, under the distance-aware lookahead matrix or the global-min
+// ablation. The two policies must commit identically — windowing never
+// changes results — so the pair is both the barrier-reduction measurement
+// and a determinism check.
+func WindowCount(fabric string, shards int, globalMin bool, think sim.Time) (windows, wakeups, committed uint64) {
+	d := scalingCell(fabric, shards, globalMin, think)
+	res := d.Run(500*sim.Microsecond, 3*sim.Millisecond)
+	windows = d.Kernel.Windows()
+	wakeups = d.Kernel.Wakeups()
+	d.Close()
+	return windows, wakeups, res.Committed
 }

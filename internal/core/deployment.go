@@ -104,6 +104,14 @@ type Config struct {
 	// full prepare/commit rounds (ablation of the read-only optimization).
 	DisableReadOnlyVote bool
 
+	// ThinkTime inserts client think time between each worker's
+	// transactions (closed loop with think). 0 keeps every worker
+	// back-to-back — the saturated default. Sub-saturated cells are where
+	// the sharded kernel's distance-aware windows pay off: event streams
+	// with gaps wider than the minimum lookahead let far shards jump a gap
+	// in one window instead of one barrier round per lookahead.
+	ThinkTime sim.Time
+
 	// Faults schedules deterministic fault injection (island crashes,
 	// degraded links, message drops, WAL stalls) on the deployment. nil —
 	// the default — leaves every code path exactly as a healthy run; a
@@ -129,6 +137,13 @@ type Config struct {
 	// variable, when set, overrides this field (CI race legs force sharding
 	// on without plumbing flags through every test).
 	Shards int
+
+	// GlobalMinLookahead is a measurement ablation: run multi-shard kernels
+	// under the pre-matrix windowing policy (one global window over the
+	// minimum scalar lookahead) instead of the distance-aware per-shard-pair
+	// windows. Results are bit-identical either way; only the barrier count
+	// and wall-clock differ. Benchmarks flip it to quantify the reduction.
+	GlobalMinLookahead bool
 
 	Seed int64
 }
@@ -187,11 +202,13 @@ func NewDeployment(cfg Config) *Deployment {
 	n := len(parts)
 
 	shards := resolveShards(cfg, parts)
-	var la sim.Time
+	var k *sim.Kernel
 	if shards > 1 {
-		la = minCrossWire(cfg, parts)
+		k = sim.NewShardedMatrix(crossWireMatrix(cfg, parts, shards))
+		k.SetGlobalMinWindows(cfg.GlobalMinLookahead)
+	} else {
+		k = sim.NewKernel()
 	}
-	k := sim.NewSharded(shards, la)
 	model := mem.NewModel(cfg.Machine)
 	net := ipc.NewNetwork[engine.Msg](k, cfg.Machine, cfg.Mechanism)
 	net.AttachModel(model)
@@ -234,6 +251,7 @@ func NewDeployment(cfg Config) *Deployment {
 			Wal:                 cfg.Wal,
 			Disk:                disk,
 			DisableReadOnlyVote: cfg.DisableReadOnlyVote,
+			ThinkTime:           cfg.ThinkTime,
 			Tables:              specs,
 		}
 		if cfg.BufferPoolPagesTotal > 0 {
@@ -316,39 +334,68 @@ func resolveShards(cfg Config, parts [][]topology.CoreID) int {
 	return want
 }
 
-// minCrossWire computes the conservative lookahead: the minimum delivery
-// latency of any message between cores of different instances. Any two
-// instances with cores on one socket bound it by the same-socket handoff;
-// otherwise the fabric's scaled cross-socket latency, minimized over the
-// instances' hop distances, applies. Always positive.
-func minCrossWire(cfg Config, parts [][]topology.CoreID) sim.Time {
+// crossWireMatrix computes the kernel's per-shard-pair conservative
+// lookahead matrix from the interconnect model: entry [s][t] is the minimum
+// delivery latency of any message from an island on shard s to an island on
+// shard t (islands round-robin over shards, i -> i%shards, matching the
+// domain mapping below). Any two instances with cores on one socket bound
+// their pair by the same-socket handoff; otherwise the fabric's
+// LatencyScale-scaled wire term, minimized over the instances' socket hop
+// distances, applies — precomputed as one dense socket table so the island
+// scan is lookups, not repeated scaling arithmetic.
+//
+// This is Chandy–Misra distance-based lookahead: shard pairs whose islands
+// are far apart on the fabric (ring antipodes, torus corners) declare wide
+// floors, which the kernel's windowing turns into wider windows and fewer
+// barriers than the old single global minimum. A fault plan that can speed
+// links up (LinkDegrade Factor < 1) shrinks every floor by its worst-case
+// delivery scale, keeping the floors sound under injection. Entries are
+// always positive.
+func crossWireMatrix(cfg Config, parts [][]topology.CoreID, shards int) [][]sim.Time {
 	m := cfg.Machine
 	costs := ipc.CostsFor(cfg.Mechanism)
-	min := sim.Time(0)
-	consider := func(t sim.Time) {
-		if min == 0 || t < min {
-			min = t
-		}
+	wire := m.CrossTable(costs.WireSameSocket, costs.WireCrossBase, costs.WireCrossPerHop)
+	socketOf := m.SocketTable()
+
+	scale := 1.0
+	if cfg.Faults != nil {
+		scale = cfg.Faults.MinDeliveryScale()
 	}
+
+	la := make([][]sim.Time, shards)
+	for s := range la {
+		la[s] = make([]sim.Time, shards)
+	}
+	n := m.SocketCount
 	for i := 0; i < len(parts); i++ {
-		for j := i + 1; j < len(parts); j++ {
+		for j := 0; j < len(parts); j++ {
+			if i == j || i%shards == j%shards {
+				continue // same island or same shard: no cross-shard channel
+			}
+			floor := sim.Time(0)
 			for _, a := range parts[i] {
 				for _, b := range parts[j] {
-					sa, sb := m.SocketOf(a), m.SocketOf(b)
-					if sa == sb {
-						consider(costs.WireSameSocket)
-						continue
+					if w := wire[int(socketOf[a])*n+int(socketOf[b])]; floor == 0 || w < floor {
+						floor = w
 					}
-					h := m.Hops(sa, sb)
-					consider(m.ScaleCross(costs.WireCrossBase + sim.Time(h-1)*costs.WireCrossPerHop))
 				}
+			}
+			if floor <= 0 {
+				panic("core: cross-island wire latency must be positive for sharding")
+			}
+			if scale < 1 {
+				// Truncate exactly as ipc.Send scales a degraded delivery, so
+				// the floor stays under every reachable latency.
+				if floor = sim.Time(float64(floor) * scale); floor < 1 {
+					floor = 1
+				}
+			}
+			if cur := la[i%shards][j%shards]; cur == 0 || floor < cur {
+				la[i%shards][j%shards] = floor
 			}
 		}
 	}
-	if min <= 0 {
-		panic("core: cross-island wire latency must be positive for sharding")
-	}
-	return min
+	return la
 }
 
 // wireFaults connects the fault injector to the deployment: the network

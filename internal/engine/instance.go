@@ -48,6 +48,11 @@ type Options struct {
 	// read-only at work-reply time. Ablation knob: quantifies the
 	// optimization's contribution to distributed read performance.
 	DisableReadOnlyVote bool
+	// ThinkTime inserts client think time between a worker's transactions
+	// (closed loop with think, TPC-style). 0 — the default — keeps workers
+	// back-to-back (fully saturated). The wait happens off-core and bills
+	// nowhere: it models the client, not the database.
+	ThinkTime sim.Time
 	// Tables lists the partition's tables.
 	Tables []TableSpec
 }
@@ -368,6 +373,9 @@ func (in *Instance) workerLoop(p *sim.Proc, i int, src RequestSource) {
 	ctx := in.newCtx(p, i)
 	reply := in.net.NewEndpointIn(in.dom, ctx.Core)
 	for {
+		if in.opts.ThinkTime > 0 {
+			p.Advance(in.opts.ThinkTime) // client thinking: off-core, unbilled
+		}
 		req := src.Next(in.ID, i)
 		if in.faulty && in.down {
 			in.waitUp(ctx) // crashed: the request waits out the outage

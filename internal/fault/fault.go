@@ -158,6 +158,23 @@ func (p *Plan) HasCrash() bool {
 	return false
 }
 
+// MinDeliveryScale returns the smallest factor the plan can ever multiply a
+// message's wire latency by: 1 for plans whose LinkDegrades only slow links
+// (Factor >= 1, the usual case), and the worst-case product of the
+// accelerating factors otherwise (overlapping degrade windows multiply).
+// The deployment layer scales its conservative-lookahead floors by this, so
+// a plan that speeds a link up can never deliver under the kernel's
+// cross-shard lookahead.
+func (p *Plan) MinDeliveryScale() float64 {
+	scale := 1.0
+	for _, e := range p.Events {
+		if d, ok := e.(LinkDegrade); ok && d.Factor < 1 {
+			scale *= d.Factor
+		}
+	}
+	return scale
+}
+
 // dropWindow and degradeWindow are static, immutable views of MsgDrop and
 // LinkDegrade events: instead of timers mutating shared probability/factor
 // state at onset and offset (which a sender on another shard could never

@@ -81,12 +81,24 @@ const msgBytes = 512
 type FaultFunc func(from, to topology.CoreID, now sim.Time) (drop bool, scale float64)
 
 // Network connects endpoints over one mechanism on one machine.
+//
+// The wire-latency computation — same-socket handoff vs the
+// LatencyScale-scaled cross-socket term over the fabric's hop count — is
+// precomputed into a dense socket x socket table at construction, so the
+// per-message send path indexes two tables instead of walking the hop
+// matrix and scaling. Built once per Network (once per deployment cell);
+// machines are immutable after deployment build, which keeps the table
+// valid for the network's lifetime.
 type Network[T any] struct {
 	k     *sim.Kernel
 	topo  *topology.Machine
 	costs Costs
 	model *mem.Model
 	fault FaultFunc
+
+	sockets  int
+	socketOf []topology.SocketID // core -> socket
+	wire     []sim.Time          // socket x socket delivery latency
 
 	// Messages counts deliveries; CrossSocket counts those that crossed the
 	// interconnect; Dropped counts sends the fault layer discarded. Atomic
@@ -99,7 +111,15 @@ type Network[T any] struct {
 
 // NewNetwork builds a network for machine topo using mechanism m.
 func NewNetwork[T any](k *sim.Kernel, topo *topology.Machine, m Mechanism) *Network[T] {
-	return &Network[T]{k: k, topo: topo, costs: CostsFor(m)}
+	costs := CostsFor(m)
+	return &Network[T]{
+		k:        k,
+		topo:     topo,
+		costs:    costs,
+		sockets:  topo.SocketCount,
+		socketOf: topo.SocketTable(),
+		wire:     topo.CrossTable(costs.WireSameSocket, costs.WireCrossBase, costs.WireCrossPerHop),
+	}
 }
 
 // AttachModel routes message memory traffic into the machine's QPI/IMC
@@ -144,14 +164,11 @@ func (e *Endpoint[T]) Pending() int { return e.q.Len() }
 // wireLatency computes the delivery latency between two endpoints. The
 // cross-socket wire cost is an interconnect term: it grows with the fabric's
 // hop count and scales with the machine's LatencyScale, while the
-// same-socket kernel handoff does not.
+// same-socket kernel handoff does not. Both cases are one lookup in the
+// precomputed wire table (bit-equal to the direct arithmetic; pinned by
+// TestWireTableMatchesDirect).
 func (n *Network[T]) wireLatency(from, to topology.CoreID) sim.Time {
-	sa, sb := n.topo.SocketOf(from), n.topo.SocketOf(to)
-	if sa == sb {
-		return n.costs.WireSameSocket
-	}
-	h := n.topo.Hops(sa, sb)
-	return n.topo.ScaleCross(n.costs.WireCrossBase + sim.Time(h-1)*n.costs.WireCrossPerHop)
+	return n.wire[int(n.socketOf[from])*n.sockets+int(n.socketOf[to])]
 }
 
 // Send charges the sender's CPU (from ctx.Core) and schedules delivery into
@@ -161,7 +178,7 @@ func (n *Network[T]) Send(ctx *exec.Ctx, to *Endpoint[T], msg T) {
 	ctx.Charge(n.costs.SendCPU)
 	ctx.Bucket(prev)
 	n.Messages.Add(1)
-	cross := !n.topo.SameSocket(ctx.Core, to.home)
+	cross := n.socketOf[ctx.Core] != n.socketOf[to.home]
 	if cross {
 		n.CrossSocket.Add(1)
 	}

@@ -240,3 +240,82 @@ func TestWokenReceiverRacesCompetingRecv(t *testing.T) {
 		})
 	}
 }
+
+// TestWireTableMatchesDirect pins the wire-table memoization: for every
+// fabric constructor, LatencyScale, and mechanism, the precomputed
+// socket x socket wire table equals the direct arithmetic it replaced —
+// same-socket kernel handoff on the diagonal, the LatencyScale-scaled
+// cross-socket term over the fabric's hop count elsewhere.
+func TestWireTableMatchesDirect(t *testing.T) {
+	custom, err := topology.CustomHops([][]int{
+		{0, 1, 2, 3, 1, 2, 3, 4},
+		{1, 0, 1, 2, 2, 1, 2, 3},
+		{2, 1, 0, 1, 3, 2, 1, 2},
+		{3, 2, 1, 0, 4, 3, 2, 1},
+		{1, 2, 3, 4, 0, 1, 2, 3},
+		{2, 1, 2, 3, 1, 0, 1, 2},
+		{3, 2, 1, 2, 2, 1, 0, 1},
+		{4, 3, 2, 1, 3, 2, 1, 0},
+	})
+	if err != nil {
+		t.Fatalf("CustomHops: %v", err)
+	}
+	fabrics := []topology.Interconnect{
+		topology.FullyConnected(8),
+		topology.Ring(8),
+		topology.Mesh2D(2, 4),
+		topology.Torus2D(2, 4),
+		topology.Hypercube(3),
+		custom,
+	}
+	for _, fab := range fabrics {
+		for _, scale := range []float64{0, 0.5, 1, 2} {
+			for _, mech := range Mechanisms() {
+				m := topology.Custom("wire", 8, 2, 12<<20)
+				m.Interconnect = fab
+				m.LatencyScale = scale
+				k := sim.NewKernel()
+				n := NewNetwork[int](k, m, mech)
+				costs := CostsFor(mech)
+				for a := 0; a < m.NumCores(); a++ {
+					for b := 0; b < m.NumCores(); b++ {
+						ca, cb := topology.CoreID(a), topology.CoreID(b)
+						sa, sb := m.SocketOf(ca), m.SocketOf(cb)
+						want := costs.WireSameSocket
+						if sa != sb {
+							h := m.Hops(sa, sb)
+							want = m.ScaleCross(costs.WireCrossBase + sim.Time(h-1)*costs.WireCrossPerHop)
+						}
+						if got := n.wireLatency(ca, cb); got != want {
+							t.Fatalf("%s scale=%v %v: wireLatency(%d,%d) = %v, want %v",
+								fab.Name, scale, mech, a, b, got, want)
+						}
+					}
+				}
+				k.Close()
+			}
+		}
+	}
+}
+
+// TestWireLatencyAllocFree is the alloc guard on the memoized wire path: the
+// table is built once in NewNetwork, so per-message latency lookups must not
+// allocate — a regression means table (re)construction moved back onto the
+// send path.
+func TestWireLatencyAllocFree(t *testing.T) {
+	m := topology.Custom("wire", 8, 2, 12<<20)
+	m.Interconnect = topology.Ring(8)
+	m.LatencyScale = 2
+	k := sim.NewKernel()
+	defer k.Close()
+	n := NewNetwork[int](k, m, UnixSocket)
+	var sink sim.Time
+	if allocs := testing.AllocsPerRun(200, func() {
+		for c := 0; c < m.NumCores(); c++ {
+			sink += n.wireLatency(topology.CoreID(c), topology.CoreID(m.NumCores()-1-c))
+		}
+	}); allocs != 0 {
+		t.Errorf("wireLatency allocated %.1f objects per run, want 0", allocs)
+	}
+	_ = sink
+}

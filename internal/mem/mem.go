@@ -81,14 +81,37 @@ const lineBytes = 64
 // Model is the machine-wide memory model. One Model exists per simulated
 // machine; all database instances deployed on that machine share it, exactly
 // as they share the physical caches.
+//
+// The distance-dependent costs of the MESI classifier — cross-socket
+// cache-to-cache transfers and remote DRAM fetches — are precomputed into
+// dense socket x socket tables at construction (topology.Machine.CrossTable)
+// so the per-access hot path is two array lookups instead of hop-matrix
+// walks and LatencyScale arithmetic. The tables are built exactly once per
+// Model (once per deployment cell); a machine is never mutated after its
+// deployment is built, which is what makes the memoization sound.
 type Model struct {
 	Topo    *topology.Machine
 	PerCore []Stats
+
+	sockets  int
+	socketOf []topology.SocketID // core -> socket
+	c2c      []sim.Time          // socket x socket: C2CSameSocket / scaled CrossC2C
+	dram     []sim.Time          // socket x socket: DRAMLocal / scaled remote fetch
+	upgrade  sim.Time            // one-hop cross C2C: shared-line write upgrade
 }
 
-// NewModel returns a Model for machine m with zeroed statistics.
+// NewModel returns a Model for machine m with zeroed statistics and the
+// machine's cost tables prebuilt.
 func NewModel(m *topology.Machine) *Model {
-	return &Model{Topo: m, PerCore: make([]Stats, m.NumCores())}
+	return &Model{
+		Topo:     m,
+		PerCore:  make([]Stats, m.NumCores()),
+		sockets:  m.SocketCount,
+		socketOf: m.SocketTable(),
+		c2c:      m.CrossTable(m.Lat.C2CSameSocket, m.Lat.C2CCrossBase, m.Lat.C2CCrossPerHop),
+		dram:     m.CrossTable(m.Lat.DRAMLocal, m.Lat.DRAMRemoteBase, m.Lat.DRAMRemotePerHop),
+		upgrade:  m.CrossC2C(1),
+	}
 }
 
 // ResetStats clears per-core statistics (used between warmup and the
@@ -137,9 +160,9 @@ func (m *Model) Read(c topology.CoreID, l *Line) sim.Time {
 	lat, kind := m.classify(c, l, false)
 	m.bill(st, lat, kind)
 	// Reading a dirty remote line downgrades it to shared-clean everywhere.
-	s := m.Topo.SocketOf(c)
+	s := m.socketOf[c]
 	if l.dirty && l.lastWriter != c {
-		writerSocket := m.Topo.SocketOf(l.lastWriterOr(c))
+		writerSocket := m.socketOf[l.lastWriterOr(c)]
 		l.dirty = false
 		l.lastWriter = -1
 		l.sharers |= 1 << uint(writerSocket)
@@ -160,7 +183,7 @@ func (m *Model) Write(c topology.CoreID, l *Line) sim.Time {
 	st.Accesses++
 	lat, kind := m.classify(c, l, true)
 	m.bill(st, lat, kind)
-	s := m.Topo.SocketOf(c)
+	s := m.socketOf[c]
 	if !l.touched {
 		l.touched = true
 		l.home = s
@@ -190,9 +213,13 @@ const (
 )
 
 // classify determines where the line is and what it costs core c to get it.
+// Distance-dependent costs come from the Model's precomputed tables; they
+// are bit-equal to the direct topology arithmetic (TransferCost, CrossC2C,
+// DRAMCost) by construction, which TestCostTablesMatchDirect pins per
+// fabric and LatencyScale.
 func (m *Model) classify(c topology.CoreID, l *Line, write bool) (sim.Time, accessKind) {
 	topo := m.Topo
-	s := topo.SocketOf(c)
+	s := m.socketOf[c]
 	if !l.touched {
 		// First touch: allocate locally, DRAM-speed cold miss.
 		return topo.Lat.DRAMLocal, dramLocal
@@ -202,33 +229,33 @@ func (m *Model) classify(c topology.CoreID, l *Line, write bool) (sim.Time, acce
 		if w == c {
 			return topo.Lat.L1, hitL1
 		}
-		if topo.SocketOf(w) == s {
+		ws := m.socketOf[w]
+		if ws == s {
 			return topo.Lat.C2CSameSocket, c2cSame
 		}
-		return topo.TransferCost(w, c), c2cCross
+		return m.c2c[int(ws)*m.sockets+int(s)], c2cCross
 	}
 	// Clean. A writer that already shares the line still pays to upgrade
 	// and invalidate other sockets' copies.
 	if l.sharers&(1<<uint(s)) != 0 {
 		if write && l.sharers != 1<<uint(s) {
 			// Upgrade: invalidate remote copies across the interconnect.
-			return topo.CrossC2C(1), c2cCross
+			return m.upgrade, c2cCross
 		}
 		return topo.Lat.LLC, hitLLC
 	}
 	if other := l.anySharerSocket(); other >= 0 {
 		// Clean copy in a remote LLC: fetch across the interconnect.
-		h := topo.Hops(s, topology.SocketID(other))
-		if h == 0 {
+		if other == int(s) {
 			return topo.Lat.LLC, hitLLC
 		}
-		return topo.CrossC2C(h), c2cCross
+		return m.c2c[int(s)*m.sockets+other], c2cCross
 	}
 	// Nowhere cached: memory access at the line's home.
 	if l.home == s {
 		return topo.Lat.DRAMLocal, dramLocal
 	}
-	return topo.DRAMCost(c, l.home), dramRemote
+	return m.dram[int(s)*m.sockets+int(l.home)], dramRemote
 }
 
 func (l *Line) anySharerSocket() int {

@@ -207,3 +207,110 @@ func TestStatsAddProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// tableFabrics returns one instance of every fabric constructor on an
+// 8-socket machine, for sweeping table/direct equivalence.
+func tableFabrics(t *testing.T) []topology.Interconnect {
+	custom, err := topology.CustomHops([][]int{
+		{0, 1, 2, 3, 1, 2, 3, 4},
+		{1, 0, 1, 2, 2, 1, 2, 3},
+		{2, 1, 0, 1, 3, 2, 1, 2},
+		{3, 2, 1, 0, 4, 3, 2, 1},
+		{1, 2, 3, 4, 0, 1, 2, 3},
+		{2, 1, 2, 3, 1, 0, 1, 2},
+		{3, 2, 1, 2, 2, 1, 0, 1},
+		{4, 3, 2, 1, 3, 2, 1, 0},
+	})
+	if err != nil {
+		t.Fatalf("CustomHops: %v", err)
+	}
+	return []topology.Interconnect{
+		topology.FullyConnected(8),
+		topology.Ring(8),
+		topology.Mesh2D(2, 4),
+		topology.Torus2D(2, 4),
+		topology.Hypercube(3),
+		custom,
+	}
+}
+
+// tableScales are the LatencyScale points the table tests sweep: unscaled
+// (both spellings), the paper's "twice as fast" what-if, and a dilation.
+var tableScales = []float64{0, 0.5, 1, 2}
+
+// TestCostTablesMatchDirect pins the memoization contract of the Model's
+// cost tables: for every fabric constructor and LatencyScale, every table
+// entry is bit-equal to the direct topology arithmetic it replaced
+// (TransferCost/CrossC2C for cache-to-cache, DRAMCost for remote memory),
+// and the end-to-end Read latency of a dirty remote line equals TransferCost
+// exactly.
+func TestCostTablesMatchDirect(t *testing.T) {
+	for _, fab := range tableFabrics(t) {
+		for _, scale := range tableScales {
+			m := topology.Custom("tab", 8, 2, 12<<20)
+			m.Interconnect = fab
+			m.LatencyScale = scale
+			model := NewModel(m)
+			n := m.SocketCount
+			for a := 0; a < n; a++ {
+				for b := 0; b < n; b++ {
+					ca := topology.CoreID(a * m.CoresPerSocket)
+					cb := topology.CoreID(b * m.CoresPerSocket)
+					wantC2C := m.TransferCost(ca, cb)
+					if a == b {
+						// Same-socket table diagonal holds the same-socket
+						// transfer; TransferCost(ca, ca) would be an L1 hit.
+						wantC2C = m.Lat.C2CSameSocket
+					}
+					if got := model.c2c[a*n+b]; got != wantC2C {
+						t.Errorf("%s scale=%v: c2c[%d][%d] = %v, want %v", fab.Name, scale, a, b, got, wantC2C)
+					}
+					wantDRAM := m.DRAMCost(ca, topology.SocketID(b))
+					if got := model.dram[a*n+b]; got != wantDRAM {
+						t.Errorf("%s scale=%v: dram[%d][%d] = %v, want %v", fab.Name, scale, a, b, got, wantDRAM)
+					}
+				}
+			}
+			if got, want := model.upgrade, m.CrossC2C(1); got != want {
+				t.Errorf("%s scale=%v: upgrade = %v, want CrossC2C(1) = %v", fab.Name, scale, got, want)
+			}
+			for c := 0; c < m.NumCores(); c++ {
+				if got, want := model.socketOf[c], m.SocketOf(topology.CoreID(c)); got != want {
+					t.Errorf("%s: socketOf[%d] = %v, want %v", fab.Name, c, got, want)
+				}
+			}
+			// End to end: a line written on the last socket, read from the
+			// first, costs exactly the direct transfer arithmetic.
+			var l Line
+			writer := topology.CoreID((n - 1) * m.CoresPerSocket)
+			reader := topology.CoreID(0)
+			model.Write(writer, &l)
+			if got, want := model.Read(reader, &l), m.TransferCost(writer, reader); got != want {
+				t.Errorf("%s scale=%v: dirty remote read = %v, want TransferCost %v", fab.Name, scale, got, want)
+			}
+		}
+	}
+}
+
+// TestModelHotPathAllocFree is the alloc guard on the memoized classifier:
+// the cost tables are built once in NewModel, so steady-state Read/Write —
+// including cross-socket transfers and remote DRAM fetches, the table-hitting
+// branches — must not allocate. A regression here means someone put table
+// (re)construction back on the per-access path.
+func TestModelHotPathAllocFree(t *testing.T) {
+	m := topology.Custom("tab", 8, 2, 12<<20)
+	m.Interconnect = topology.Ring(8)
+	m.LatencyScale = 2
+	model := NewModel(m)
+	var shared, remote Line
+	home := topology.CoreID(14)
+	model.Write(home, &remote) // home the line far away
+	if allocs := testing.AllocsPerRun(200, func() {
+		model.Write(0, &shared)
+		model.Read(2, &shared) // cross-socket dirty transfer
+		model.Read(0, &remote) // cross-socket fetch
+		model.Write(15, &remote)
+	}); allocs != 0 {
+		t.Errorf("Read/Write allocated %.1f objects per iteration, want 0", allocs)
+	}
+}

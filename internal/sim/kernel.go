@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"sync"
 )
@@ -198,12 +199,37 @@ type Kernel struct {
 	shards  []*shard
 	domains []*Domain
 
-	// la is the conservative lookahead: the minimum virtual delay of any
-	// cross-shard delivery. Each synchronization window executes every event
-	// in [m, m+la) in parallel, m being the global minimum next-event time —
-	// sound because an event at t >= m can only schedule cross-shard work at
-	// t+la >= m+la, i.e. beyond the window.
+	// la is the scalar conservative lookahead: the minimum virtual delay of
+	// any cross-shard delivery, over every declared shard pair. It survives
+	// as the back-compat Lookahead() accessor and the floor reported in
+	// panic messages; window computation uses the pairwise matrices below.
 	la Time
+
+	// laPair is the dense shards x shards matrix of direct delivery floors:
+	// laPair[i*n+j] is the minimum delay of any PushAfterFrom whose
+	// scheduling domain lives on shard i and whose queue lives on shard j
+	// (noChannel where shard i never sends to shard j). laDist is its
+	// min-plus closure *including cycles* — laDist[i*n+j] lower-bounds the
+	// virtual time any causal chain starting on shard i needs to reach
+	// shard j through any sequence of cross-shard hops, and laDist[i*n+i]
+	// is the shortest round trip i -> ... -> i, which is what bounds how
+	// far shard i may run ahead of its own future incoming echoes. The
+	// per-shard window limits in parallel.go are derived from laDist.
+	laPair []Time
+	laDist []Time
+
+	// mins/limits are per-window scratch (next-event time and window limit
+	// per shard); windows counts synchronization windows executed and
+	// wakeups counts per-shard barrier crossings (the sum of released
+	// shards over all windows) — the synchronization work that
+	// distance-aware lookahead exists to reduce. globalWindows forces the
+	// pre-matrix windowing policy (one global window [m, m+min(la)) for
+	// every shard) as a measurable ablation.
+	mins          []Time
+	limits        []Time
+	windows       uint64
+	wakeups       uint64
+	globalWindows bool
 
 	procMu sync.Mutex
 	procs  []*Proc
@@ -212,16 +238,32 @@ type Kernel struct {
 	wg        sync.WaitGroup
 }
 
+// noChannel marks a shard pair with no declared delivery channel: no
+// cross-shard send may travel it, and no lookahead bound is derived from it.
+const noChannel = Time(math.MaxInt64)
+
+// addClamp returns a+b saturating at maxHorizon (operands are non-negative
+// event times and lookaheads).
+func addClamp(a, b Time) Time {
+	if a > maxHorizon-b {
+		return maxHorizon
+	}
+	return a + b
+}
+
 // NewKernel returns an empty single-shard kernel at virtual time zero.
 func NewKernel() *Kernel { return NewSharded(1, 0) }
 
-// NewSharded returns a kernel with the given number of event shards and
-// conservative lookahead. Lookahead must be positive when shards > 1: it is
-// the floor under every cross-shard delivery delay (PushAfterFrom panics on
-// anything shorter), and the window width that lets shards advance without
-// waiting on each other. Domains created with NewDomain choose their shard;
-// determinism is independent of that mapping, so NewSharded(1, la) and
-// NewSharded(n, la) produce bit-identical simulations.
+// NewSharded returns a kernel with the given number of event shards and a
+// uniform conservative lookahead. Lookahead must be positive when
+// shards > 1: it is the floor under every cross-shard delivery delay
+// (PushAfterFrom panics on anything shorter), and the window width that lets
+// shards advance without waiting on each other. Domains created with
+// NewDomain choose their shard; determinism is independent of that mapping,
+// so NewSharded(1, la) and NewSharded(n, la) produce bit-identical
+// simulations. Deployments that know their topology's distance structure
+// should prefer NewShardedMatrix: per-pair floors widen windows for shards
+// whose nearest neighbors are far apart.
 func NewSharded(shards int, lookahead Time) *Kernel {
 	if shards < 1 {
 		panic("sim: kernel needs >= 1 shard")
@@ -229,21 +271,134 @@ func NewSharded(shards int, lookahead Time) *Kernel {
 	if shards > 1 && lookahead <= 0 {
 		panic("sim: a multi-shard kernel needs a positive conservative lookahead")
 	}
-	k := &Kernel{la: lookahead}
-	k.shards = make([]*shard, shards)
+	la := make([][]Time, shards)
+	for i := range la {
+		la[i] = make([]Time, shards)
+		for j := range la[i] {
+			if i != j {
+				la[i][j] = lookahead
+			}
+		}
+	}
+	return NewShardedMatrix(la)
+}
+
+// NewShardedMatrix returns a kernel with len(la) event shards and the given
+// per-shard-pair conservative lookahead matrix: la[i][j] is the minimum
+// virtual delay of any cross-shard delivery scheduled by a domain on shard i
+// into a queue on shard j (the Chandy–Misra lookahead of the i->j channel).
+// An off-diagonal entry <= 0 declares that shard i never sends to shard j —
+// PushAfterFrom panics on such a send. The diagonal is ignored (same-shard
+// deliveries bypass the cross-shard path entirely).
+//
+// Windowed execution derives each shard's limit from the min-plus closure of
+// the matrix, so a shard whose in-distances are large runs far ahead of the
+// rest between barriers; determinism is unaffected, because event keys —
+// (at, scheduling domain, domain-local seq) — never depend on shard windows.
+func NewShardedMatrix(la [][]Time) *Kernel {
+	n := len(la)
+	if n < 1 {
+		panic("sim: kernel needs >= 1 shard")
+	}
+	k := &Kernel{}
+	k.shards = make([]*shard, n)
 	for i := range k.shards {
 		k.shards[i] = &shard{k: k, id: i, horizon: noHorizon}
 	}
 	k.domains = []*Domain{{sh: k.shards[0], id: 0}}
+	k.laPair = make([]Time, n*n)
+	for i, row := range la {
+		if len(row) != n {
+			panic(fmt.Sprintf("sim: lookahead matrix row %d has %d entries, want %d", i, len(row), n))
+		}
+		for j, v := range row {
+			switch {
+			case i == j:
+				k.laPair[i*n+j] = noChannel
+			case v <= 0:
+				k.laPair[i*n+j] = noChannel
+			default:
+				k.laPair[i*n+j] = v
+				if k.la == 0 || v < k.la {
+					k.la = v
+				}
+			}
+		}
+	}
+	// Min-plus closure with a noChannel diagonal: laDist[i][j] is the
+	// cheapest multi-hop route i -> ... -> j, and laDist[i][i] the cheapest
+	// cycle through i. All declared floors are positive, so every entry is
+	// either >= 1 or noChannel.
+	k.laDist = make([]Time, n*n)
+	copy(k.laDist, k.laPair)
+	for via := 0; via < n; via++ {
+		for i := 0; i < n; i++ {
+			d1 := k.laDist[i*n+via]
+			if d1 == noChannel {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				d2 := k.laDist[via*n+j]
+				if d2 == noChannel {
+					continue
+				}
+				if d := addClamp(d1, d2); d < k.laDist[i*n+j] {
+					k.laDist[i*n+j] = d
+				}
+			}
+		}
+	}
+	k.mins = make([]Time, n)
+	k.limits = make([]Time, n)
 	return k
 }
 
 // Shards returns the number of event shards.
 func (k *Kernel) Shards() int { return len(k.shards) }
 
-// Lookahead returns the conservative lookahead (0 for single-shard kernels
-// built by NewKernel).
+// Lookahead returns the minimum conservative lookahead over all declared
+// shard pairs (0 for single-shard kernels built by NewKernel).
 func (k *Kernel) Lookahead() Time { return k.la }
+
+// LookaheadTo returns the conservative lookahead of the from->to shard
+// channel, or 0 when the pair has no declared channel (or from == to).
+func (k *Kernel) LookaheadTo(from, to int) Time {
+	v := k.laPair[from*len(k.shards)+to]
+	if v == noChannel {
+		return 0
+	}
+	return v
+}
+
+// Windows returns the number of synchronization windows (global barrier
+// rounds) executed by multi-shard runs so far. Always 0 on a single-shard
+// kernel.
+//
+// Under a saturated workload on a symmetric fabric the round count is a
+// policy invariant: the steady-state virtual-time advance per round equals
+// the minimum cycle mean of the lookahead matrix (its min-plus eigenvalue),
+// and a symmetric matrix's minimum cycle mean is its minimum entry — the
+// same advance the global-min policy achieves. The quantity distance-aware
+// windows actually shrink is Wakeups.
+func (k *Kernel) Windows() uint64 { return k.windows }
+
+// Wakeups returns the total number of per-shard barrier crossings — the sum
+// over windows of shards released into that window. This is the real cost of
+// conservative synchronization (channel send + goroutine wakeup + WaitGroup
+// join per released shard, cache-warming its heap each round). Under the
+// distance-aware matrix, shards whose window limits run far beyond their
+// neighbors execute in wide bursts and sit out the rounds in between; under
+// the global-min policy every shard with any runnable event is woken every
+// round. Always 0 on a single-shard kernel.
+func (k *Kernel) Wakeups() uint64 { return k.wakeups }
+
+// SetGlobalMinWindows toggles the windowing-policy ablation: when on, every
+// window is the classic global [m, m+min(la)) over the minimum scalar
+// lookahead, regardless of the pair matrix — the policy distance-aware
+// windows replaced. Results are bit-identical either way (window boundaries
+// never affect event keys); only the barrier count and wall-clock change.
+// Benchmarks use it to quantify the reduction.
+func (k *Kernel) SetGlobalMinWindows(on bool) { k.globalWindows = on }
 
 // Now returns the current virtual time. Between Run/RunUntil calls every
 // shard's clock agrees; while a multi-shard window is executing, per-shard

@@ -4,29 +4,43 @@ import "sync"
 
 // Conservative windowed execution for multi-shard kernels.
 //
-// The algorithm is YAWNS-style synchronous windowing. Let m be the global
-// minimum next-event timestamp over all shard heaps (inboxes freshly merged)
-// and la the kernel's lookahead. Every event in [m, m+la) can be executed
-// without inter-shard coordination: an event executing at e >= m can only
-// schedule cross-shard work at e+dur >= m+la (PushAfterFrom enforces
-// dur >= la), i.e. strictly beyond the window, so nothing that happens in
-// this window can inject new work into it. Each window therefore:
+// The algorithm generalizes YAWNS-style synchronous windowing with
+// Chandy–Misra distance-based lookahead. The kernel carries laDist, the
+// min-plus closure of the per-shard-pair lookahead matrix: laDist[j][i]
+// lower-bounds the virtual time any causal chain starting on shard j needs
+// to reach shard i (including multi-hop routes through other shards, and
+// cycles back to j itself). Each window:
 //
 //  1. merges every shard's inbound mailbox into its heap (entries are due
-//     at >= the previous window's limit+1, so clocks never regress);
-//  2. computes m and the window limit W-1 = min(m+la-1, t);
-//  3. releases all shard workers to execute their events with at <= W-1 in
-//     parallel, horizon pinned to W-1 so proc fast-path advances stay
-//     inside the window;
+//     strictly beyond the window that produced them, so clocks never
+//     regress);
+//  2. computes every shard's next-event time m_j, and gives each shard i its
+//     own limit L_i = min_j(m_j + laDist[j][i]) - 1: the earliest instant an
+//     event executed anywhere could make new work arrive at shard i. Events
+//     on shard i with at <= L_i are safe to run without coordination —
+//     anything influencing them from another shard would have to arrive at
+//     > L_i. A shard pair with no route contributes no bound; a shard with
+//     no route into it at all runs to its cap in one window.
+//  3. releases the shards whose next event falls inside their limit to
+//     execute in parallel, horizon pinned to the limit so proc fast-path
+//     advances stay inside the window;
 //  4. joins at a barrier; panics captured on workers re-raise here,
 //     lowest shard id first, so failures surface deterministically.
 //
-// Progress is guaranteed: the shard holding the event at m always executes
-// at least that event. Determinism needs no cross-window reasoning beyond
-// the event keys: each shard executes its own events in (at, dom, seq)
-// order, and events on different shards in the same window are causally
-// independent by the lookahead argument, so their relative wall-clock order
-// cannot affect simulation state.
+// With a uniform matrix this degenerates to (at least) the classic global
+// window [m, m+la): every L_i >= m + la - 1. With distance-aware floors,
+// shards whose nearest neighbors are far — ring antipodes, torus corners,
+// LatencyScale-dilated fabrics — get wider windows and fewer barriers, which
+// is the whole point: the paper's islands exist because hops are non-uniform,
+// and the simulator's synchronization cost should follow the same structure.
+//
+// Progress is guaranteed: the shard holding the globally-earliest event m
+// has L_i >= m (every laDist entry is >= 1), so it always executes at least
+// that event. Determinism needs no cross-window reasoning beyond the event
+// keys: each shard executes its own events in (at, dom, seq) order, and
+// events on different shards inside their respective windows are causally
+// independent by the lookahead-closure argument, so their relative
+// wall-clock order cannot affect simulation state.
 
 // startWorkers launches one persistent goroutine per shard, fed window
 // limits over a channel. Workers live until Close.
@@ -62,13 +76,80 @@ func (sh *shard) runTo(limit Time) {
 	}
 }
 
-// runWindow executes one synchronized window: every shard runs its events
-// with at <= limit on its own goroutine, then the coordinator joins them.
-func (k *Kernel) runWindow(limit Time) {
-	k.wg.Add(len(k.shards))
-	for _, sh := range k.shards {
-		sh.horizon = limit
-		sh.limit <- limit
+// computeWindow fills k.mins with every shard's next-event time and
+// k.limits with every shard's distance-aware window limit (capped at cap),
+// and returns the number of shards with an event inside their limit. Zero
+// means the run is done: either no events remain, or every remaining event
+// lies beyond the cap.
+func (k *Kernel) computeWindow(cap Time) int {
+	n := len(k.shards)
+	for i, sh := range k.shards {
+		if sh.heap.empty() {
+			k.mins[i] = noChannel
+		} else {
+			k.mins[i] = sh.heap.ev[0].at
+		}
+	}
+	active := 0
+	if k.globalWindows {
+		// Ablation: the pre-matrix policy — one global window over the
+		// minimum next-event time and the minimum scalar lookahead.
+		m := noChannel
+		for j := 0; j < n; j++ {
+			if k.mins[j] < m {
+				m = k.mins[j]
+			}
+		}
+		lim := cap
+		if m != noChannel {
+			if w := addClamp(m, k.la) - 1; w < lim {
+				lim = w
+			}
+		}
+		for i := range k.shards {
+			k.limits[i] = lim
+			if k.mins[i] != noChannel && k.mins[i] <= lim {
+				active++
+			}
+		}
+		return active
+	}
+	for i := range k.shards {
+		lim := cap
+		for j := 0; j < n; j++ {
+			if k.mins[j] == noChannel {
+				continue
+			}
+			d := k.laDist[j*n+i]
+			if d == noChannel {
+				continue
+			}
+			if w := addClamp(k.mins[j], d) - 1; w < lim {
+				lim = w
+			}
+		}
+		k.limits[i] = lim
+		if k.mins[i] != noChannel && k.mins[i] <= lim {
+			active++
+		}
+	}
+	return active
+}
+
+// runWindow executes one synchronized window: every shard whose next event
+// falls inside its limit runs on its own goroutine, then the coordinator
+// joins them. Shards with nothing runnable this window sit it out entirely
+// (no channel send, no barrier slot).
+func (k *Kernel) runWindow(active int) {
+	k.windows++
+	k.wakeups += uint64(active)
+	k.wg.Add(active)
+	for i, sh := range k.shards {
+		if k.mins[i] == noChannel || k.mins[i] > k.limits[i] {
+			continue
+		}
+		sh.horizon = k.limits[i]
+		sh.limit <- k.limits[i]
 	}
 	k.wg.Wait()
 	for _, sh := range k.shards {
@@ -112,36 +193,24 @@ func (k *Kernel) nextEventTime() (Time, bool) {
 	return m, ok
 }
 
-func (k *Kernel) runSharded() {
+// runShardedTo is the shared multi-shard driver: windows until no shard has
+// a runnable event at or below cap.
+func (k *Kernel) runShardedTo(cap Time) {
 	k.startWorkers()
 	for {
 		k.drainInboxes()
-		m, ok := k.nextEventTime()
-		if !ok {
+		active := k.computeWindow(cap)
+		if active == 0 {
 			break
 		}
-		limit := m + k.la - 1
-		if limit < m { // overflow guard
-			limit = maxHorizon
-		}
-		k.runWindow(limit)
+		k.runWindow(active)
 	}
 }
 
+func (k *Kernel) runSharded() { k.runShardedTo(maxHorizon) }
+
 func (k *Kernel) runUntilSharded(t Time) {
-	k.startWorkers()
-	for {
-		k.drainInboxes()
-		m, ok := k.nextEventTime()
-		if !ok || m > t {
-			break
-		}
-		limit := t
-		if w := m + k.la - 1; w >= m && w < limit {
-			limit = w
-		}
-		k.runWindow(limit)
-	}
+	k.runShardedTo(t)
 	for _, sh := range k.shards {
 		if sh.now < t {
 			sh.now = t

@@ -79,10 +79,10 @@ func (q *Queue[T]) PushAfter(d Time, v T) {
 //
 // When src lives on a different shard than the queue's owner, the event is
 // routed through the destination shard's inbound mailbox; dur must then be
-// at least the kernel's conservative lookahead, or the delivery could land
-// inside the destination's current execution window and break determinism —
-// that is a topology-wiring bug, and PushAfterFrom panics loudly rather
-// than silently corrupting the timeline.
+// at least the conservative lookahead declared for that shard pair, or the
+// delivery could land inside the destination's current execution window and
+// break determinism — that is a topology-wiring bug, and PushAfterFrom
+// panics loudly rather than silently corrupting the timeline.
 func (q *Queue[T]) PushAfterFrom(src *Domain, dur Time, v T) {
 	dst := q.dom.sh
 	if src.sh == dst {
@@ -90,11 +90,17 @@ func (q *Queue[T]) PushAfterFrom(src *Domain, dur Time, v T) {
 		return
 	}
 	k := dst.k
-	if dur < k.la {
+	if floor := k.laPair[src.sh.id*len(k.shards)+dst.id]; dur < floor {
+		if floor == noChannel {
+			panic(fmt.Sprintf(
+				"sim: cross-shard delivery from shard %d to shard %d, but the kernel's lookahead "+
+					"matrix declares no channel between them (the pair's conservative lookahead is unset)",
+				src.sh.id, dst.id))
+		}
 		panic(fmt.Sprintf(
-			"sim: cross-shard delivery after %d violates the kernel's conservative lookahead %d; "+
-				"cross-shard sends must be delayed by at least the minimum cross-island wire latency "+
-				"(same-island traffic belongs on a single shard)", dur, k.la))
+			"sim: cross-shard delivery after %d violates the %d->%d channel's conservative lookahead %d; "+
+				"cross-shard sends must be delayed by at least the pair's minimum cross-island wire latency "+
+				"(same-island traffic belongs on a single shard)", dur, src.sh.id, dst.id, floor))
 	}
 	src.seq++
 	e := event{at: src.sh.now + dur, dom: src.id, seq: src.seq, fn: func() { q.Push(v) }}

@@ -231,3 +231,210 @@ func TestShardedStepMatchesRun(t *testing.T) {
 		t.Errorf("stepped 3-shard trace = %v, want %v", got, ref)
 	}
 }
+
+func TestNewShardedMatrixValidation(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("empty matrix", func() { NewShardedMatrix(nil) })
+	expectPanic("ragged matrix", func() {
+		NewShardedMatrix([][]Time{{0, 10}, {10}})
+	})
+	// Entries <= 0 off the diagonal declare "no channel"; the kernel is
+	// valid, but a send over the missing channel fails loudly.
+	k := NewShardedMatrix([][]Time{{0, 100}, {0, 0}})
+	defer k.Close()
+	if got := k.LookaheadTo(0, 1); got != 100 {
+		t.Errorf("LookaheadTo(0,1) = %v, want 100", got)
+	}
+	if got := k.LookaheadTo(1, 0); got != 0 {
+		t.Errorf("LookaheadTo(1,0) = %v, want 0 (no channel)", got)
+	}
+	src := k.NewDomain(1)
+	dst := k.NewDomain(0)
+	q := NewQueueIn[int](dst)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("send over an undeclared channel did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "no channel") {
+			t.Fatalf("panic = %v, want a message naming the missing channel", r)
+		}
+	}()
+	q.PushAfterFrom(src, 1_000_000, 1)
+}
+
+// TestMatrixWindowsFewerThanGlobalMin pins the windowing win on a kernel
+// whose lookahead matrix is genuinely asymmetric: two busy shards coupled by
+// a fast 0->1 channel and a slow 1->0 channel. The global-min policy must
+// barrier every min-entry (100) of virtual time; the distance-aware limits
+// advance at the matrix's min cycle mean ((100+1000)/2 = 550), so the same
+// script runs in a fraction of the rounds — with a byte-identical trace.
+func TestMatrixWindowsFewerThanGlobalMin(t *testing.T) {
+	// Traces are kept per domain: events in the same window run concurrently
+	// on different shards, so shared test state must be shard-local.
+	type res struct {
+		traces [2][]string
+		w      uint64
+	}
+	runSep := func(globalMin bool) res {
+		k := NewShardedMatrix([][]Time{{0, 100}, {1000, 0}})
+		defer k.Close()
+		k.SetGlobalMinWindows(globalMin)
+		var r res
+		for i := 0; i < 2; i++ {
+			i := i
+			d := k.NewDomain(i)
+			d.Spawn(fmt.Sprintf("d%d", i), func(p *Proc) {
+				for s := 0; s < 100; s++ {
+					p.Advance(100)
+					r.traces[i] = append(r.traces[i], fmt.Sprintf("d%d.%d@%d", i, s, p.Now()))
+				}
+			})
+		}
+		k.Run()
+		r.w = k.Windows()
+		return r
+	}
+	m, g := runSep(false), runSep(true)
+	if !reflect.DeepEqual(m.traces, g.traces) {
+		t.Fatalf("traces diverge between windowing policies:\nmatrix %v\nglobal %v", m.traces, g.traces)
+	}
+	if m.w >= g.w {
+		t.Errorf("matrix windows = %d, want fewer than global-min %d", m.w, g.w)
+	}
+	if g.w < 50 {
+		t.Errorf("global-min windows = %d, want ~100 (min-entry pacing)", g.w)
+	}
+	t.Logf("windows: matrix=%d global-min=%d", m.w, g.w)
+}
+
+// domainFloorMatrix derives a deterministic pseudo-random per-domain-pair
+// delivery floor matrix from seed. Floors only depend on the domain pair —
+// never on the shard count — so folding them to any shard mapping yields a
+// kernel the same script is legal on.
+func domainFloorMatrix(seed int64, nDoms int) [][]Time {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	f := make([][]Time, nDoms)
+	for i := range f {
+		f[i] = make([]Time, nDoms)
+		for j := range f[i] {
+			if i != j {
+				f[i][j] = Time(50 + rng.Intn(400))
+			}
+		}
+	}
+	return f
+}
+
+// foldFloors folds the per-domain floor matrix to a per-shard lookahead
+// matrix under the round-robin mapping domain i -> shard i%shards: each
+// shard pair's lookahead is the minimum floor over its domain pairs, exactly
+// how core.NewDeployment folds island wire floors.
+func foldFloors(f [][]Time, shards int) [][]Time {
+	la := make([][]Time, shards)
+	for a := range la {
+		la[a] = make([]Time, shards)
+	}
+	for i := range f {
+		for j := range f[i] {
+			a, b := i%shards, j%shards
+			if a == b || i == j {
+				continue
+			}
+			if la[a][b] == 0 || f[i][j] < la[a][b] {
+				la[a][b] = f[i][j]
+			}
+		}
+	}
+	return la
+}
+
+// shardedMatrixScript is shardedScript on a random per-domain floor matrix:
+// domains ping-pong with delays at or above their pair floor, on a kernel
+// built from the folded shard matrix, under either windowing policy.
+func shardedMatrixScript(seed int64, shards int, globalMin bool, nDoms, steps int) (traces [][]string, events, windows uint64) {
+	f := domainFloorMatrix(seed, nDoms)
+	k := NewShardedMatrix(foldFloors(f, shards))
+	defer k.Close()
+	k.SetGlobalMinWindows(globalMin)
+	doms := make([]*Domain, nDoms)
+	queues := make([]*Queue[int], nDoms)
+	traces = make([][]string, nDoms)
+	for i := range doms {
+		doms[i] = k.NewDomain(i % shards)
+		queues[i] = NewQueueIn[int](doms[i])
+	}
+	for i := range doms {
+		i := i
+		d := doms[i]
+		queues[i].PopFunc(func(v int) {
+			traces[i] = append(traces[i], fmt.Sprintf("recv %d@%d", v, d.Now()))
+		})
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		d.Spawn(fmt.Sprintf("d%d", i), func(p *Proc) {
+			for s := 0; s < steps; s++ {
+				p.Advance(Time(rng.Intn(150)))
+				to := rng.Intn(nDoms)
+				// Delays respect the DOMAIN pair floor, which is >= the
+				// folded shard pair lookahead under every mapping.
+				dur := f[i][to] + Time(rng.Intn(300))
+				if to == i {
+					dur = Time(rng.Intn(50))
+				}
+				msg := i*1_000_000 + s
+				queues[to].PushAfterFrom(d, dur, msg)
+				traces[i] = append(traces[i], fmt.Sprintf("sent %d->%d@%d", msg, to, p.Now()))
+			}
+		})
+	}
+	k.Run()
+	return traces, k.Events(), k.Windows()
+}
+
+// TestShardedMatrixMatchesSingle extends TestShardedMatchesSingle to random
+// floor topologies: for random seeds, the same workload on a random
+// per-domain floor matrix must produce byte-identical traces and event
+// counts on 1, 2, and 4 shards, under both the distance-aware windowing
+// policy and the global-min ablation — and the distance-aware policy must
+// never run more windows than the ablation.
+func TestShardedMatrixMatchesSingle(t *testing.T) {
+	const nDoms, steps = 8, 40
+	f := func(seed int64) bool {
+		ref, refEvents, _ := shardedMatrixScript(seed, 1, false, nDoms, steps)
+		for _, shards := range []int{2, 4} {
+			var prevWindows uint64
+			for _, globalMin := range []bool{false, true} {
+				got, gotEvents, windows := shardedMatrixScript(seed, shards, globalMin, nDoms, steps)
+				if gotEvents != refEvents {
+					t.Logf("seed %d, %d shards, globalMin=%v: Events() = %d, want %d",
+						seed, shards, globalMin, gotEvents, refEvents)
+					return false
+				}
+				if !reflect.DeepEqual(got, ref) {
+					t.Logf("seed %d, %d shards, globalMin=%v: traces diverge", seed, shards, globalMin)
+					return false
+				}
+				if globalMin {
+					if prevWindows > windows {
+						t.Logf("seed %d, %d shards: matrix windows %d > global-min windows %d",
+							seed, shards, prevWindows, windows)
+						return false
+					}
+				} else {
+					prevWindows = windows
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

@@ -147,6 +147,43 @@ func (m *Machine) DRAMCost(c CoreID, home SocketID) sim.Time {
 // measure of interconnect diameter used in reporting.
 func (m *Machine) MeanHops() float64 { return m.Interconnect.MeanHops() }
 
+// CrossTable precomputes the dense SocketCount x SocketCount latency table
+// of a distance-dependent cost: entry [a*SocketCount+b] is `same` when
+// a == b, and otherwise the LatencyScale-scaled
+// `base + (hops(a,b)-1)*perHop` — exactly the arithmetic CrossC2C, DRAMCost
+// and the IPC wire perform per access. Hot paths (the MESI classifier, the
+// IPC send path, the kernel's lookahead construction) build the tables they
+// need once at deployment build time and index them instead of re-walking
+// the hop matrix and re-scaling per message; a machine whose fabric or
+// LatencyScale changes must rebuild its tables (deployments never mutate a
+// machine after construction, so each cell's build point is the natural
+// invalidation boundary).
+func (m *Machine) CrossTable(same, base, perHop sim.Time) []sim.Time {
+	n := m.SocketCount
+	t := make([]sim.Time, n*n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				t[a*n+b] = same
+				continue
+			}
+			h := m.Hops(SocketID(a), SocketID(b))
+			t[a*n+b] = m.ScaleCross(base + sim.Time(h-1)*perHop)
+		}
+	}
+	return t
+}
+
+// SocketTable precomputes the core -> socket map as a dense slice, the
+// lookup twin of SocketOf for table-indexed hot paths.
+func (m *Machine) SocketTable() []SocketID {
+	t := make([]SocketID, m.NumCores())
+	for i := range t {
+		t[i] = m.SocketOf(CoreID(i))
+	}
+	return t
+}
+
 func (m *Machine) String() string {
 	return fmt.Sprintf("%s: %d sockets x %d cores @ %.2f GHz, %d MB LLC/socket",
 		m.Name, m.SocketCount, m.CoresPerSocket, m.ClockGHz, m.LLCBytes>>20)
