@@ -3,54 +3,210 @@
 // "determining the ideal size of each island automatically for the given
 // hardware and workload".
 //
+// It answers the question two ways. The synthetic mode (default) calibrates
+// the paper's throughput model on a generated microbenchmark. The trace
+// mode answers it for *your* workload: record a trace from a running
+// deployment, then replay it across island size × geometry candidates and
+// rank the outcomes.
+//
 // Usage:
 //
-//	islandsadvisor -machine quad -rows 240000 -rowstxn 10 -write \
-//	               -multisite 0.2 -skew 0.5
+//	# synthetic advisor (the historical mode)
+//	islandsadvisor [-machine quad|octo | -geometry S:C:LLC[:fabric]]
+//	               -rows 240000 -rowstxn 10 -write -multisite 0.2 -skew 0.5
+//
+//	# record a trace from a quick TPC-C (or micro) run
+//	islandsadvisor -record tpcc.trace [-workload tpcc|micro] [-instances N]
+//	               [-warehouses 24] [-geometry S:C:LLC[:fabric]] [-full]
+//
+//	# trace-driven advisor: replay the trace across candidates
+//	islandsadvisor -trace tpcc.trace [-geometry 4:6:8:ring,8:10:30]
+//	               [-latscale 0.5,1,2] [-sizes 1,4,24] [-seeds 3] [-full]
+//
+//	# inspect a trace file
+//	islandsadvisor -dump tpcc.trace [-maxrecords 5]
+//
+// -geometry uses the same S:C:LLC-MB[:fabric] spec language as
+// islandsprobe and works in every mode (replacing the old quad/octo-only
+// -machine flag, which remains as a shorthand).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"islands"
 )
 
 func main() {
-	machine := flag.String("machine", "quad", "machine model: quad or octo")
-	rows := flag.Int64("rows", 240000, "global rows in the dataset")
-	rowsTxn := flag.Int("rowstxn", 10, "rows accessed per transaction")
-	write := flag.Bool("write", false, "update workload (default read-only)")
-	multisite := flag.Float64("multisite", 0.2, "fraction of multisite transactions (0..1)")
-	skew := flag.Float64("skew", 0, "Zipfian skew factor (0 = uniform)")
-	seed := flag.Int64("seed", 42, "workload seed")
-	verify := flag.Bool("verify", true, "verify the ranking with full mixed-workload runs")
+	machine := flag.String("machine", "quad", "machine model shorthand: quad or octo")
+	geometry := flag.String("geometry", "", "machine geometries sockets:cores:LLC-MB[:fabric], comma-separated (overrides -machine; multiple only in -trace mode)")
+	latscale := flag.String("latscale", "", "interconnect latency scales (e.g. 0.5,1,2) fanning every -trace geometry")
+
+	record := flag.String("record", "", "record a trace from a measured run into FILE and exit")
+	workloadKind := flag.String("workload", "tpcc", "-record workload: tpcc or micro")
+	instances := flag.Int("instances", 0, "-record island count (0 = one per socket)")
+	warehouses := flag.Int("warehouses", 24, "-record TPC-C warehouse count")
+
+	traceFile := flag.String("trace", "", "replay trace FILE across candidates and rank them")
+	sizes := flag.String("sizes", "", "-trace island sizes to try, comma-separated (default: every size dividing the machine)")
+	seeds := flag.Int("seeds", 3, "-trace seed replicas for ±σ (replicas rotate the stream deal)")
+
+	dump := flag.String("dump", "", "print a text rendering of trace FILE and exit")
+	maxRecords := flag.Int("maxrecords", 3, "-dump records shown per stream (0 = all)")
+
+	rows := flag.Int64("rows", 240000, "synthetic: global rows in the dataset")
+	rowsTxn := flag.Int("rowstxn", 10, "synthetic/micro: rows accessed per transaction")
+	write := flag.Bool("write", false, "synthetic/micro: update workload (default read-only)")
+	multisite := flag.Float64("multisite", 0.2, "synthetic/micro: fraction of multisite transactions (0..1)")
+	skew := flag.Float64("skew", 0, "synthetic/micro: Zipfian skew factor (0 = uniform)")
+	seed := flag.Int64("seed", 42, "workload and placement seed")
+	verify := flag.Bool("verify", true, "synthetic: verify the ranking with full mixed-workload runs")
+	full := flag.Bool("full", false, "use the full (non-quick) measurement window")
 	flag.Parse()
 
+	switch {
+	case *dump != "":
+		t, err := islands.ReadTraceFile(*dump)
+		exitOn(err)
+		t.Dump(os.Stdout, *maxRecords)
+
+	case *record != "":
+		geos := parseGeos(*geometry, *machine, false)
+		opt := islands.StudyOptions{Quick: !*full, Seed: *seed}
+		t := recordTrace(geos[0], *workloadKind, *instances, *warehouses,
+			*rows, *rowsTxn, *write, *multisite, *skew, opt)
+		exitOn(t.WriteFile(*record))
+		fmt.Printf("recorded %s: %d records over %d streams, span %s\n",
+			*record, len(t.Records), len(t.Streams), t.Span())
+
+	case *traceFile != "":
+		t, err := islands.ReadTraceFile(*traceFile)
+		exitOn(err)
+		geos := parseGeos(*geometry, *machine, true)
+		if *latscale != "" {
+			scales, err := islands.ParseLatencyScales(*latscale)
+			exitOn(err)
+			var fanned []islands.Geometry
+			for _, g := range geos {
+				fanned = append(fanned, islands.LatencyScales(g, scales...)...)
+			}
+			geos = fanned
+		}
+		var sizeList []int
+		if *sizes != "" {
+			exitOn(parseInts(*sizes, &sizeList))
+		}
+		opt := islands.StudyOptions{Quick: !*full, Seed: *seed}
+		fmt.Printf("trace: %s (%d records, %d streams, span %s)\n\n",
+			t.Label, len(t.Records), len(t.Streams), t.Span())
+		adv, err := islands.TraceAdvise(t, geos, sizeList, *seeds, opt)
+		exitOn(err)
+		fmt.Printf("%-24s %12s %10s %12s\n", "candidate", "KTps", "±σ", "multisite %")
+		for _, c := range adv.Ranked {
+			fmt.Printf("%-24s %12.1f %10.1f %12.2f\n",
+				c.Label, c.TPS/1e3, c.TPSSigma/1e3, c.MultisiteFrac*100)
+		}
+		fmt.Printf("\nrecommended: %s (%d instances on %s)\n",
+			adv.Best.Label, adv.Best.Instances, adv.Best.Geometry.Label())
+
+	default:
+		syntheticAdvise(parseGeos(*geometry, *machine, false)[0],
+			*rows, *rowsTxn, *write, *multisite, *skew, *seed, *verify)
+	}
+}
+
+// parseGeos resolves -geometry/-machine into candidate geometries. Modes
+// that build one deployment take a single geometry; -trace sweeps many.
+func parseGeos(geometry, machine string, multi bool) []islands.Geometry {
+	if geometry != "" {
+		geos, err := islands.ParseGeometries(geometry)
+		exitOn(err)
+		if !multi && len(geos) > 1 {
+			exitOn(fmt.Errorf("this mode takes one -geometry (got %d)", len(geos)))
+		}
+		return geos
+	}
 	var m *islands.Machine
-	switch *machine {
+	switch machine {
 	case "quad":
 		m = islands.QuadSocket()
 	case "octo":
 		m = islands.OctoSocket()
 	default:
-		fmt.Fprintf(os.Stderr, "islandsadvisor: unknown machine %q\n", *machine)
-		os.Exit(2)
+		exitOn(fmt.Errorf("unknown machine %q (want quad, octo, or use -geometry)", machine))
 	}
+	return []islands.Geometry{{
+		Name:           m.Name,
+		Sockets:        m.SocketCount,
+		CoresPerSocket: m.CoresPerSocket,
+		LLCBytes:       m.LLCBytes,
+		Interconnect:   m.Interconnect,
+	}}
+}
 
-	candidates := candidateSizes(m.NumCores(), m.SocketCount)
-	base := islands.DefaultConfig(m, 1, *rows)
+// recordTrace runs the selected workload on one deployment wrapped in a
+// recorder and returns the finished trace.
+func recordTrace(g islands.Geometry, kind string, instances, warehouses int,
+	rows int64, rowsTxn int, write bool, multisite, skew float64,
+	opt islands.StudyOptions) *islands.Trace {
+
+	if instances <= 0 {
+		instances = g.Sockets
+	}
+	switch kind {
+	case "tpcc":
+		return islands.RecordTPCCTrace(islands.TPCCCellSpec{
+			Machine: g.Machine, Instances: instances, Warehouses: warehouses,
+			Mix: islands.StandardMix(), RemotePct: 0.15, RemoteItemPct: 0.01,
+			Sizing: islands.SpecTPCCSizing().Scaled(20),
+		}, opt)
+	case "micro":
+		m := g.Machine()
+		cfg := islands.DefaultConfig(m, instances, rows)
+		cfg.Seed = opt.Seed
+		d := islands.NewDeployment(cfg)
+		defer d.Close()
+		mc := islands.MicroConfig{
+			Table: 1, GlobalRows: rows, RowsPerTxn: rowsTxn,
+			Write: write, PctMultisite: multisite, ZipfS: skew, Seed: opt.Seed + 1,
+		}
+		rec := islands.NewTraceRecorder(islands.NewMicroWorkload(mc, d),
+			fmt.Sprintf("micro rows=%d %s/%dISL", rows, m.Name, instances), cfg.Tables)
+		d.Start(rec)
+		warmup, window := 500*islands.Microsecond, 3*islands.Millisecond
+		if !opt.Quick {
+			warmup, window = 2*islands.Millisecond, 20*islands.Millisecond
+		}
+		d.Run(warmup, window)
+		return rec.Finish()
+	default:
+		exitOn(fmt.Errorf("unknown -workload %q (want tpcc or micro)", kind))
+		return nil
+	}
+}
+
+// syntheticAdvise is the historical mode: calibrate the paper's throughput
+// model T = (1-p)*Tlocal + p*Tdistr on a generated microbenchmark.
+func syntheticAdvise(g islands.Geometry, rows int64, rowsTxn int, write bool,
+	multisite, skew float64, seed int64, verify bool) {
+
+	m := g.Machine()
+	candidates := islands.CandidateIslandSizes(m.NumCores(), m.SocketCount)
+	base := islands.DefaultConfig(m, 1, rows)
 	mc := islands.MicroConfig{
-		Table: 1, GlobalRows: *rows, RowsPerTxn: *rowsTxn,
-		Write: *write, ZipfS: *skew, Seed: *seed,
+		Table: 1, GlobalRows: rows, RowsPerTxn: rowsTxn,
+		Write: write, ZipfS: skew, Seed: seed,
 	}
 	opts := islands.DefaultAdvisorOptions()
-	opts.Verify = *verify
+	opts.Verify = verify
 
 	fmt.Printf("machine: %s\nworkload: %d rows/txn, write=%v, %.0f%% multisite, zipf %.2f\n\n",
-		m, *rowsTxn, *write, *multisite*100, *skew)
-	adv := islands.Advise(base, candidates, *multisite, mc, opts)
+		m, rowsTxn, write, multisite*100, skew)
+	adv := islands.Advise(base, candidates, multisite, mc, opts)
 
 	fmt.Printf("%-8s %12s %12s %12s %12s\n", "config", "T_local", "T_distr", "predicted", "measured")
 	for _, c := range adv.Candidates {
@@ -65,23 +221,28 @@ func main() {
 	fmt.Println()
 }
 
-// candidateSizes enumerates instance counts that divide the machine evenly:
-// 1, per-socket multiples, and per-core.
-func candidateSizes(cores, sockets int) []int {
-	var out []int
-	for _, n := range []int{1, 2, sockets, 2 * sockets, cores / 2, cores} {
-		if n >= 1 && n <= cores && cores%n == 0 && !contains(out, n) {
-			out = append(out, n)
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(s string, out *[]int) error {
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
 		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return fmt.Errorf("-sizes %q: want positive integers", s)
+		}
+		*out = append(*out, v)
 	}
-	return out
+	if len(*out) == 0 {
+		return fmt.Errorf("-sizes %q: empty list", s)
+	}
+	return nil
 }
 
-func contains(xs []int, v int) bool {
-	for _, x := range xs {
-		if x == v {
-			return true
-		}
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "islandsadvisor: %v\n", err)
+		os.Exit(2)
 	}
-	return false
 }

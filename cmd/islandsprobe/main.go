@@ -38,7 +38,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
@@ -85,7 +84,7 @@ func main() {
 	var geos []islands.Geometry
 	if *geometry != "" {
 		var err error
-		geos, err = parseGeometries(*geometry)
+		geos, err = islands.ParseGeometries(*geometry)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "islandsprobe: %v\n", err)
 			os.Exit(2)
@@ -96,7 +95,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "islandsprobe: -latscale scopes to a machine sweep; give -geometry too")
 			os.Exit(2)
 		}
-		scales, err := parseScales(*latscale)
+		scales, err := islands.ParseLatencyScales(*latscale)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "islandsprobe: %v\n", err)
 			os.Exit(2)
@@ -310,108 +309,4 @@ func geometryStudy(geos []islands.Geometry) *islands.Study {
 			islands.TPSEmit(0, idx[0], idx[1]))
 	}, len(geos), len(configs))
 	return st
-}
-
-// parseGeometries parses "sockets:coresPerSocket:LLC-MB[:fabric]" tuples,
-// e.g. "16:4:12,8:10:30:ring". The optional fourth field names the socket
-// fabric (full, ring, mesh, torus, hypercube); omitted means fully
-// connected.
-func parseGeometries(s string) ([]islands.Geometry, error) {
-	var out []islands.Geometry
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		f := strings.Split(part, ":")
-		if len(f) != 3 && len(f) != 4 {
-			return nil, fmt.Errorf("geometry %q: want sockets:coresPerSocket:LLC-MB[:fabric]", part)
-		}
-		sockets, err1 := strconv.Atoi(f[0])
-		cores, err2 := strconv.Atoi(f[1])
-		llcMB, err3 := strconv.Atoi(f[2])
-		if err1 != nil || err2 != nil || err3 != nil || sockets <= 0 || cores <= 0 || llcMB <= 0 {
-			return nil, fmt.Errorf("geometry %q: want positive integers sockets:coresPerSocket:LLC-MB", part)
-		}
-		g := islands.Geometry{
-			Sockets:        sockets,
-			CoresPerSocket: cores,
-			LLCBytes:       int64(llcMB) << 20,
-		}
-		if len(f) == 4 {
-			ic, err := fabricFor(f[3], sockets)
-			if err != nil {
-				return nil, fmt.Errorf("geometry %q: %w", part, err)
-			}
-			g.Interconnect = ic
-		}
-		out = append(out, g)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no geometries in %q", s)
-	}
-	return out, nil
-}
-
-// fabricFor builds the named socket fabric over the given socket count.
-// Mesh and torus factor the count into the most-square rows x cols grid;
-// hypercube requires a power of two.
-func fabricFor(name string, sockets int) (islands.Interconnect, error) {
-	switch name {
-	case "full":
-		return islands.FullyConnected(sockets), nil
-	case "ring":
-		return islands.Ring(sockets), nil
-	case "mesh":
-		r := squarestRows(sockets)
-		return islands.Mesh2D(r, sockets/r), nil
-	case "torus":
-		r := squarestRows(sockets)
-		return islands.Torus2D(r, sockets/r), nil
-	case "hypercube", "cube":
-		dim := 0
-		for 1<<dim < sockets {
-			dim++
-		}
-		if 1<<dim != sockets {
-			return islands.Interconnect{}, fmt.Errorf("hypercube needs a power-of-two socket count, got %d", sockets)
-		}
-		return islands.Hypercube(dim), nil
-	default:
-		return islands.Interconnect{}, fmt.Errorf("unknown fabric %q (want full, ring, mesh, torus or hypercube)", name)
-	}
-}
-
-// squarestRows returns the largest divisor of n not exceeding sqrt(n) —
-// the row count of the most-square mesh/torus factorization (primes
-// degrade to a 1 x n path).
-func squarestRows(n int) int {
-	best := 1
-	for r := 1; r*r <= n; r++ {
-		if n%r == 0 {
-			best = r
-		}
-	}
-	return best
-}
-
-// parseScales parses the comma-separated -latscale list into positive
-// floats.
-func parseScales(s string) ([]float64, error) {
-	var out []float64
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		v, err := strconv.ParseFloat(part, 64)
-		if err != nil || v <= 0 {
-			return nil, fmt.Errorf("latency scale %q: want a positive number", part)
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no scales in %q", s)
-	}
-	return out, nil
 }

@@ -372,11 +372,17 @@ func (in *Instance) StartWorkersOnly(src RequestSource) {
 func (in *Instance) workerLoop(p *sim.Proc, i int, src RequestSource) {
 	ctx := in.newCtx(p, i)
 	reply := in.net.NewEndpointIn(in.dom, ctx.Core)
+	timed, _ := src.(TimedRequestSource)
 	for {
 		if in.opts.ThinkTime > 0 {
 			p.Advance(in.opts.ThinkTime) // client thinking: off-core, unbilled
 		}
-		req := src.Next(in.ID, i)
+		var req Request
+		if timed != nil {
+			req = timed.NextAt(in.ID, i, p.Now())
+		} else {
+			req = src.Next(in.ID, i)
+		}
 		if in.faulty && in.down {
 			in.waitUp(ctx) // crashed: the request waits out the outage
 		}

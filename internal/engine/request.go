@@ -66,6 +66,15 @@ type RequestSource interface {
 	Next(inst InstanceID, worker int) Request
 }
 
+// TimedRequestSource is a RequestSource that wants the worker's virtual
+// clock with each pull. Workers detect it once at startup and call NextAt
+// instead of Next; the timestamp is informational (trace recording) and
+// must not change the returned request. Like Next, NextAt must not block.
+type TimedRequestSource interface {
+	RequestSource
+	NextAt(inst InstanceID, worker int, now sim.Time) Request
+}
+
 // Engine cost constants: fixed CPU charges for transaction management,
 // independent of the storage-layer charges (index, buffer pool, locks, log)
 // which are billed where they occur. Calibrated against Figure 10's

@@ -81,6 +81,29 @@ func runTPCC(m *topology.Machine, s TPCCSpec, opt Options,
 	return d.Run(warmup, window)
 }
 
+// runSource deploys a user-defined request source over the spec's machine
+// and measures it — the open-ended sibling of runMicro/runTPCC.
+func runSource(s SourceSpec, opt Options) core.Measurement {
+	cfg := core.Config{
+		Machine:   s.Machine(),
+		Instances: s.Instances,
+		Placement: core.PlacementIslands,
+		Mechanism: ipc.UnixSocket,
+		LocalOnly: s.LocalOnly,
+		Seed:      opt.Seed,
+		Shards:    opt.Shards,
+		Tables:    append([]core.TableDecl(nil), s.Tables...),
+	}
+	if s.Tweak != nil {
+		s.Tweak(&cfg)
+	}
+	d := core.NewDeployment(cfg)
+	defer d.Close()
+	d.Start(s.Source(d, opt))
+	warmup, window := windows(opt)
+	return d.Run(warmup, window)
+}
+
 // fig3: TPC-C Payment with 4 worker threads on the quad-socket machine,
 // varying thread placement: Spread / Group / Mix / OS. All cells force the
 // full measurement window: with only 4 workers the experiment is cheap, and

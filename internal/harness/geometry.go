@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"islands/internal/topology"
+)
+
+// ParseGeometry parses one "sockets:coresPerSocket:LLC-MB[:fabric]" spec
+// (e.g. "4:6:8" or "16:4:12:ring") into a Geometry. The optional fourth
+// field names the socket fabric — full, ring, mesh, torus or hypercube —
+// built over the socket count (mesh and torus factor it into the most-
+// square grid; hypercube requires a power of two); omitted means fully
+// connected. This is the shared spec language of islandsprobe's and
+// islandsadvisor's -geometry flags.
+func ParseGeometry(s string) (Geometry, error) {
+	f := strings.Split(strings.TrimSpace(s), ":")
+	if len(f) != 3 && len(f) != 4 {
+		return Geometry{}, fmt.Errorf("geometry %q: want sockets:coresPerSocket:LLC-MB[:fabric]", s)
+	}
+	sockets, err1 := strconv.Atoi(f[0])
+	cores, err2 := strconv.Atoi(f[1])
+	llcMB, err3 := strconv.Atoi(f[2])
+	if err1 != nil || err2 != nil || err3 != nil || sockets <= 0 || cores <= 0 || llcMB <= 0 {
+		return Geometry{}, fmt.Errorf("geometry %q: want positive integers sockets:coresPerSocket:LLC-MB", s)
+	}
+	g := Geometry{
+		Sockets:        sockets,
+		CoresPerSocket: cores,
+		LLCBytes:       int64(llcMB) << 20,
+	}
+	if len(f) == 4 {
+		ic, err := FabricFor(f[3], sockets)
+		if err != nil {
+			return Geometry{}, fmt.Errorf("geometry %q: %w", s, err)
+		}
+		g.Interconnect = ic
+	}
+	return g, nil
+}
+
+// ParseGeometries parses a comma-separated list of geometry specs,
+// e.g. "16:4:12,8:10:30:ring". Empty elements are skipped; an empty list
+// is an error.
+func ParseGeometries(s string) ([]Geometry, error) {
+	var out []Geometry
+	for _, part := range strings.Split(s, ",") {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		g, err := ParseGeometry(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no geometries in %q", s)
+	}
+	return out, nil
+}
+
+// FabricFor builds the named socket fabric over the given socket count.
+// Mesh and torus factor the count into the most-square rows x cols grid;
+// hypercube requires a power of two.
+func FabricFor(name string, sockets int) (topology.Interconnect, error) {
+	switch name {
+	case "full":
+		return topology.FullyConnected(sockets), nil
+	case "ring":
+		return topology.Ring(sockets), nil
+	case "mesh":
+		r := squarestRows(sockets)
+		return topology.Mesh2D(r, sockets/r), nil
+	case "torus":
+		r := squarestRows(sockets)
+		return topology.Torus2D(r, sockets/r), nil
+	case "hypercube", "cube":
+		dim := 0
+		for 1<<dim < sockets {
+			dim++
+		}
+		if 1<<dim != sockets {
+			return topology.Interconnect{}, fmt.Errorf("hypercube needs a power-of-two socket count, got %d", sockets)
+		}
+		return topology.Hypercube(dim), nil
+	default:
+		return topology.Interconnect{}, fmt.Errorf("unknown fabric %q (want full, ring, mesh, torus or hypercube)", name)
+	}
+}
+
+// squarestRows returns the largest divisor of n not exceeding sqrt(n) —
+// the row count of the most-square mesh/torus factorization (primes
+// degrade to a 1 x n path).
+func squarestRows(n int) int {
+	best := 1
+	for r := 1; r*r <= n; r++ {
+		if n%r == 0 {
+			best = r
+		}
+	}
+	return best
+}
+
+// ParseLatencyScales parses a comma-separated list of positive latency
+// scales ("0.5,1,2") — the -latscale flag language shared by the cmds.
+func ParseLatencyScales(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("latency scale %q: want a positive number", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no scales in %q", s)
+	}
+	return out, nil
+}
+
+// CandidateSizes enumerates island sizes (instance counts) that divide a
+// machine evenly: shared-everything, per-socket multiples, and fine
+// grained — the advisor's default candidate set.
+func CandidateSizes(cores, sockets int) []int {
+	var out []int
+	for _, n := range []int{1, 2, sockets, 2 * sockets, cores / 2, cores} {
+		if n >= 1 && n <= cores && cores%n == 0 && !containsInt(out, n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"islands/internal/core"
+	"islands/internal/engine"
 	"islands/internal/topology"
 	"islands/internal/workload"
 )
@@ -168,6 +169,46 @@ func TPCCCell(name string, s TPCCSpec, emits ...Emit) Cell {
 			cores = s.Placement(m, opt)
 		}
 		return Metrics{M: runTPCC(m, s, opt, cores)}
+	}}
+}
+
+// SourceSpec declares a deployment cell driven by a user-defined request
+// source — the open end of the cell-spec family. Where MicroSpec and
+// TPCCSpec bake in this repo's generators, SourceSpec takes an arbitrary
+// factory: trace replayers, custom closed-loop clients, adversarial
+// streams. The factory runs once per cell execution against the freshly
+// built deployment (for d.Part, instance layout, config), and must return
+// a source safe for concurrent workers — the executor may run cells of one
+// study concurrently, and the engine calls Next from every worker stream.
+type SourceSpec struct {
+	// Machine constructs the cell's private machine model.
+	Machine   func() *topology.Machine
+	Instances int
+	// Tables declares the deployment's tables (range-partitioned).
+	Tables []core.TableDecl
+	// Source builds the request source for this cell's deployment. opt has
+	// the cell's seed adjustments already applied.
+	Source    func(d *core.Deployment, opt Options) engine.RequestSource
+	LocalOnly bool
+	SeedDelta int64
+	// ForceFull measures with the full (non-quick) window even in quick mode.
+	ForceFull bool
+	// Tweak optionally adjusts the built config (think time, WAL, disk, ...).
+	Tweak func(*core.Config)
+}
+
+// SourceCell builds a deployment cell around a user-defined request source.
+func SourceCell(name string, s SourceSpec, emits ...Emit) Cell {
+	var hint float64
+	if s.ForceFull {
+		hint = 1
+	}
+	return Cell{Name: name, CostHint: hint, Emits: emits, Run: func(opt Options) Metrics {
+		opt.Seed += s.SeedDelta
+		if s.ForceFull {
+			opt.Quick = false
+		}
+		return Metrics{M: runSource(s, opt)}
 	}}
 }
 

@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"testing"
+)
+
+// FuzzTraceDecode fuzzes the trace decoder: arbitrary bytes must either
+// error cleanly or decode to a trace that survives an encode→decode
+// round-trip exactly. (Byte-identity with the input is NOT required — a
+// fuzzer can produce non-canonical varints that decode fine but re-encode
+// minimally; value-identity is the contract.)
+func FuzzTraceDecode(f *testing.F) {
+	// Seed with a valid encoding, a few corrupt variants, and junk.
+	valid, err := testTrace().AppendBinary(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte{})
+	f.Add([]byte("ISLTRACE"))
+	f.Add(append(append([]byte{}, valid...), 0xDE, 0xAD))
+	junk := append([]byte{}, valid...)
+	junk[len(junk)/2] ^= 0x55
+	f.Add(junk)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(data)
+		if err != nil {
+			return // clean rejection is fine; a panic would fail the fuzz run
+		}
+		re, err := tr.AppendBinary(nil)
+		if err != nil {
+			t.Fatalf("decoded trace fails validation on re-encode: %v", err)
+		}
+		tr2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded trace fails to decode: %v", err)
+		}
+		if !tracesEqual(tr, tr2) {
+			t.Fatalf("round-trip mismatch:\nfirst  %+v\nsecond %+v", tr, tr2)
+		}
+	})
+}

@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"fmt"
+
+	"islands/internal/engine"
+)
+
+// Replayer feeds a recorded trace back as an engine.RequestSource, across
+// any replay deployment geometry.
+//
+// Two modes, picked at construction:
+//
+// Exact mode — the replay deployment has exactly the recorded stream set
+// (same instances, same workers per instance) and rotate ≡ 0 mod streams.
+// Each replay stream consumes its own recorded stream in recorded order,
+// so a replay on the deployment the trace came from reproduces the
+// recorded run's metrics bit-identically (the equivalence contract pinned
+// by TestTraceReplayMatchesRecorded).
+//
+// Strided mode — any other geometry. Records are merged into the global
+// generation order (ascending At, ties by stream then sequence) and dealt
+// round-robin: replay stream g (of G total, numbered instance-major)
+// consumes global positions g+rotate, g+rotate+G, ... mod the record
+// count. This preserves each transaction's position in the workload's
+// time structure while spreading the load evenly over the new worker set.
+// The rotate knob shifts the deal — replica seeds map to rotations so
+// Study.Seeds measures honest cross-assignment variance on an otherwise
+// deterministic source.
+//
+// A stream that exhausts the trace wraps around and replays its positions
+// again (closed-loop sources must never block); Wraps reports how many
+// times that happened so callers can tell "measured one pass" from
+// "looped the trace 40x".
+type Replayer struct {
+	t     *Trace
+	exact bool
+	base  []int32  // instance -> first global stream index
+	cur   []cursor // one per global stream, indexed base[inst]+worker
+}
+
+// cursor is one replay stream's read position, padded to a cache line so
+// concurrent workers on different kernel shards don't false-share.
+type cursor struct {
+	pos    int32 // exact: next offset within the stream; strided: next global position
+	start  int32 // first position (strided wrap target); exact: 0
+	stride int32 // strided: G; exact: unused
+	count  int32 // exact: records in my stream; strided: total records
+	begin  int32 // exact: my stream's first record index; strided: unused
+	wraps  int32
+	_      [40]byte
+}
+
+// NewReplayer builds a replayer over t for a deployment with
+// workersPer[i] workers on instance i. rotate shifts the strided deal (use
+// 0 for faithful replay; nonzero forces strided mode).
+func NewReplayer(t *Trace, workersPer []int, rotate int64) (*Replayer, error) {
+	if len(t.Records) == 0 {
+		return nil, fmt.Errorf("trace: cannot replay an empty trace")
+	}
+	if len(workersPer) == 0 {
+		return nil, fmt.Errorf("trace: replay deployment has no instances")
+	}
+	r := &Replayer{t: t, base: make([]int32, len(workersPer))}
+	total := 0
+	for i, w := range workersPer {
+		if w <= 0 {
+			return nil, fmt.Errorf("trace: instance %d has no workers", i)
+		}
+		r.base[i] = int32(total)
+		total += w
+	}
+	r.cur = make([]cursor, total)
+
+	rot := rotate % int64(total)
+	if rot < 0 {
+		rot += int64(total)
+	}
+	r.exact = rot == 0 && r.matchesStreams(workersPer)
+	if r.exact {
+		for si, s := range t.Streams {
+			c := &r.cur[r.base[s.Instance]+s.Worker]
+			c.begin = int32(s.start)
+			c.count = int32(s.Count)
+			_ = si
+		}
+		return r, nil
+	}
+
+	t.timeOrder() // materialize the shared global order before workers race to use it
+	n := len(t.Records)
+	for g := range r.cur {
+		c := &r.cur[g]
+		c.start = int32((g + int(rot)) % total % n)
+		c.pos = c.start
+		c.stride = int32(total)
+		c.count = int32(n)
+	}
+	return r, nil
+}
+
+// matchesStreams reports whether the recorded stream set is exactly the
+// replay enumeration: every (instance, worker) with instance <
+// len(workersPer) and worker < workersPer[instance], each non-empty.
+func (r *Replayer) matchesStreams(workersPer []int) bool {
+	if len(r.t.Streams) != len(r.cur) {
+		return false
+	}
+	i := 0
+	for inst, w := range workersPer {
+		for worker := 0; worker < w; worker++ {
+			s := r.t.Streams[i]
+			if int(s.Instance) != inst || int(s.Worker) != worker || s.Count == 0 {
+				return false
+			}
+			i++
+		}
+	}
+	return true
+}
+
+// Next implements engine.RequestSource. It is allocation-free: the
+// returned request aliases the trace's op storage, which the engine never
+// mutates. Panics if (inst, worker) is outside the deployment the
+// replayer was built for.
+func (r *Replayer) Next(inst engine.InstanceID, worker int) engine.Request {
+	c := &r.cur[r.base[inst]+int32(worker)]
+	var rec *Record
+	if r.exact {
+		if c.pos == c.count {
+			c.pos = 0
+			c.wraps++
+		}
+		rec = &r.t.Records[c.begin+c.pos]
+		c.pos++
+	} else {
+		if c.pos >= c.count {
+			c.pos = c.start
+			c.wraps++
+		}
+		rec = &r.t.Records[r.t.order[c.pos]]
+		c.pos += c.stride
+	}
+	return engine.Request{Ops: rec.Ops}
+}
+
+// Wraps returns the total number of times any stream wrapped back to its
+// start — 0 means the measured run consumed at most one pass of the trace.
+func (r *Replayer) Wraps() int {
+	n := 0
+	for i := range r.cur {
+		n += int(r.cur[i].wraps)
+	}
+	return n
+}
+
+// Exact reports whether the replayer is in exact (bit-faithful) mode.
+func (r *Replayer) Exact() bool { return r.exact }

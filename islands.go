@@ -29,6 +29,13 @@
 //     abort-rate and availability series, so crashes show up as a dip and
 //     recovery as the climb back — same seed, same faults, bit-identical
 //     output;
+//   - traces: NewTraceRecorder tees any workload into a compact versioned
+//     binary trace (one record per transaction: timestamp, kind, stream,
+//     rows touched); NewTraceReplayer feeds a trace back deterministically
+//     — bit-equal metrics on the recorded deployment, a time-ordered
+//     round-robin deal on any other geometry; TraceAdvise replays one
+//     trace across island size × geometry candidates and ranks them with
+//     ±σ, answering the advisor's question for *your* workload;
 //   - the study API: Study, Cell, Emit, Table and Metrics expose the
 //     declarative plan layer the experiments themselves are built on.
 //     MicroCell, TPCCCell and ScalarCell build cells from specs, Grid
@@ -57,6 +64,7 @@ import (
 	"islands/internal/sim"
 	"islands/internal/storage"
 	"islands/internal/topology"
+	"islands/internal/trace"
 	"islands/internal/wal"
 	"islands/internal/workload"
 )
@@ -418,6 +426,125 @@ func TPSEmit(table, row, col int) Emit { return harness.TPSEmit(table, row, col)
 
 // ValueEmit emits a scalar cell's value verbatim at the given coordinates.
 func ValueEmit(table, row, col int) Emit { return harness.ValueEmit(table, row, col) }
+
+// SourceCellSpec declares a deployment cell driven by a user-defined
+// request source — the open end of the cell-spec family. The Source
+// factory runs against the freshly built deployment and must return a
+// source safe for concurrent workers (the engine calls Next from every
+// worker stream, and the executor may run cells concurrently).
+type SourceCellSpec = harness.SourceSpec
+
+// SourceCell builds a deployment cell around a user-defined request
+// source: trace replayers, custom closed-loop clients, adversarial
+// streams — any experiment, not just this repo's generators.
+func SourceCell(name string, s SourceCellSpec, emits ...Emit) Cell {
+	return harness.SourceCell(name, s, emits...)
+}
+
+// ParseGeometry parses one "sockets:coresPerSocket:LLC-MB[:fabric]" spec
+// (e.g. "4:6:8:ring") — the shared -geometry flag language of islandsprobe
+// and islandsadvisor. The optional fabric is full, ring, mesh, torus or
+// hypercube.
+func ParseGeometry(s string) (Geometry, error) { return harness.ParseGeometry(s) }
+
+// ParseGeometries parses a comma-separated list of geometry specs.
+func ParseGeometries(s string) ([]Geometry, error) { return harness.ParseGeometries(s) }
+
+// ParseLatencyScales parses a comma-separated list of positive latency
+// scales ("0.5,1,2") — the shared -latscale flag language.
+func ParseLatencyScales(s string) ([]float64, error) { return harness.ParseLatencyScales(s) }
+
+// CandidateIslandSizes enumerates island sizes (instance counts) that
+// divide a machine evenly — the advisor's default candidate set.
+func CandidateIslandSizes(cores, sockets int) []int { return harness.CandidateSizes(cores, sockets) }
+
+// Trace is a recorded workload: one compact record per transaction
+// (virtual timestamp, transaction kind, worker stream, row operations with
+// global keys), with the recorded deployment's table schema attached. A
+// trace recorded on one deployment replays on any candidate geometry — the
+// workload-as-first-class-input abstraction behind the trace-driven
+// advisor. Encode/WriteFile persist the compact versioned binary form;
+// Dump renders text.
+type Trace = trace.Trace
+
+// TraceTableInfo declares one table in a trace's embedded schema.
+type TraceTableInfo = trace.TableInfo
+
+// TraceStream identifies one recorded (instance, worker) request stream.
+type TraceStream = trace.Stream
+
+// TraceRecord is one recorded transaction.
+type TraceRecord = trace.Record
+
+// TraceKindGeneric marks trace records whose source reported no
+// transaction kind (microbenchmarks, custom sources).
+const TraceKindGeneric = trace.KindGeneric
+
+// TraceRecorder wraps any RequestSource and tees every request into an
+// in-memory trace; Finish assembles the canonical Trace. Recording is a
+// pass-through in virtual time: a recorded run's metrics equal the
+// unrecorded run's.
+type TraceRecorder = trace.Recorder
+
+// TraceReplayer feeds a recorded trace back as a RequestSource. On the
+// deployment the trace was recorded from it replays bit-faithfully (exact
+// mode); on any other geometry it deals the time-ordered records
+// round-robin over the new worker streams.
+type TraceReplayer = trace.Replayer
+
+// NewTraceRecorder wraps src for recording. tables declares every table
+// the source touches (TPCCMixTables for mix workloads, Config.Tables in
+// general); the schema travels with the trace.
+func NewTraceRecorder(src RequestSource, label string, tables []TableDecl) *TraceRecorder {
+	return trace.NewRecorder(src, label, harness.TraceTableInfos(tables))
+}
+
+// NewTraceReplayer builds a replayer feeding t to deployment d's worker
+// streams. rotate shifts the stream deal (0 = faithful replay; the advisor
+// maps seed replicas to rotations for honest ±σ on a deterministic
+// source).
+func NewTraceReplayer(t *Trace, d *Deployment, rotate int64) (*TraceReplayer, error) {
+	workers := make([]int, len(d.Instances))
+	for i, in := range d.Instances {
+		workers[i] = len(in.Cores)
+	}
+	return trace.NewReplayer(t, workers, rotate)
+}
+
+// TraceTables converts a trace's embedded schema to table declarations,
+// ready for Config.Tables of a replay deployment.
+func TraceTables(t *Trace) []TableDecl { return harness.TraceTableDecls(t.Tables) }
+
+// DecodeTrace parses an encoded trace; arbitrary corrupt input errors
+// cleanly (the decoder is fuzzed).
+func DecodeTrace(data []byte) (*Trace, error) { return trace.Decode(data) }
+
+// ReadTraceFile decodes a trace file written by Trace.WriteFile.
+func ReadTraceFile(path string) (*Trace, error) { return trace.ReadFile(path) }
+
+// RecordTPCCTrace runs the TPC-C mix of the given cell spec wrapped in a
+// recorder and returns the finished trace — the quickest way to produce a
+// real trace without wiring a recorder by hand.
+func RecordTPCCTrace(s TPCCCellSpec, opt StudyOptions) *Trace {
+	return harness.RecordTPCC(s, opt)
+}
+
+// TraceCandidate is one ranked candidate of a trace-driven advisor sweep.
+type TraceCandidate = harness.TraceCandidate
+
+// TraceAdvice is the trace-driven advisor's ranked recommendation.
+type TraceAdvice = harness.TraceAdvice
+
+// TraceAdvise replays one recorded trace across island size × machine
+// geometry candidates (sizes nil = every size dividing each geometry's
+// cores) and ranks the outcomes; seeds > 1 adds ±σ via seed-replica stream
+// rotations. The trace's schema travels with it: each candidate deployment
+// declares the trace's tables range-partitioned over its instances, so the
+// same global keys become local or multisite according to the candidate —
+// the question the advisor answers.
+func TraceAdvise(t *Trace, geos []Geometry, sizes []int, seeds int, opt StudyOptions) (*TraceAdvice, error) {
+	return harness.AdviseTrace(t, geos, sizes, seeds, opt)
+}
 
 // WalOptions configures logging (group commit, flush latency, Aether-style
 // consolidation).

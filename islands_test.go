@@ -262,3 +262,71 @@ func TestAdviseViaFacade(t *testing.T) {
 		t.Errorf("advisor picked %dISL for local-only reads, want 24", adv.Best.Instances)
 	}
 }
+
+// TestPublicAPITraceRecordReplay drives the trace subsystem end-to-end
+// through exported identifiers only: record a micro workload, round-trip
+// the binary encoding, replay on an identical deployment for bit-equal
+// metrics, and run the trace-driven advisor over the result.
+func TestPublicAPITraceRecordReplay(t *testing.T) {
+	machine := islands.QuadSocket()
+	cfg := islands.DefaultConfig(machine, 4, 24000)
+	cfg.Seed = 7
+	mc := islands.MicroConfig{
+		Table: 1, GlobalRows: 24000, RowsPerTxn: 4, PctMultisite: 0.2, Seed: 7,
+	}
+
+	d := islands.NewDeployment(cfg)
+	rec := islands.NewTraceRecorder(islands.NewMicroWorkload(mc, d),
+		"micro quad/4ISL", cfg.Tables)
+	d.Start(rec)
+	live := d.Run(500*islands.Microsecond, 3*islands.Millisecond)
+	d.Close()
+	tr := rec.Finish()
+	if len(tr.Records) == 0 || len(tr.Streams) != 24 || tr.Span() <= 0 {
+		t.Fatalf("recorded %d records over %d streams spanning %s",
+			len(tr.Records), len(tr.Streams), tr.Span())
+	}
+
+	buf, err := tr.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := islands.DecodeTrace(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if islands.TraceTables(tr2)[0].Rows != 24000 {
+		t.Fatalf("decoded schema lost the row count: %+v", islands.TraceTables(tr2))
+	}
+
+	d2 := islands.NewDeployment(cfg)
+	defer d2.Close()
+	rep, err := islands.NewTraceReplayer(tr2, d2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Exact() {
+		t.Fatal("same-deployment replay did not select exact mode")
+	}
+	d2.Start(rep)
+	replay := d2.Run(500*islands.Microsecond, 3*islands.Millisecond)
+	if a, b := fmt.Sprintf("%+v", live), fmt.Sprintf("%+v", replay); a != b {
+		t.Fatalf("replay metrics differ from the recorded run:\nlive   %s\nreplay %s", a, b)
+	}
+
+	g, err := islands.ParseGeometry("4:6:12:ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := islands.TraceAdvise(tr2, []islands.Geometry{g}, []int{4}, 1,
+		islands.StudyOptions{Quick: true, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adv.Ranked) != 1 || adv.Best.TPS <= 0 {
+		t.Fatalf("advisor returned %+v", adv.Best)
+	}
+	if want := islands.CandidateIslandSizes(24, 4); len(want) != 6 || want[3] != 8 {
+		t.Fatalf("CandidateIslandSizes(24, 4) = %v", want)
+	}
+}
