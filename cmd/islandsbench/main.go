@@ -22,7 +22,11 @@
 // -baseline OLD.json (implies -benchjson) additionally prints a
 // per-benchmark comparison of the fresh run against a previously committed
 // BENCH json: speedup on ns/op and the window/wakeup deltas for records
-// both files contain.
+// both files contain. With a comma-separated list of captures
+// (-baseline BENCH_999f540.json,BENCH_9df3fa7.json) it instead prints a
+// per-benchmark trend table: one ms/op column per capture in the given
+// order, the fresh run last, and the overall speedup of the fresh run
+// against the oldest capture that has the benchmark.
 //
 // -cpuprofile and -memprofile write pprof profiles of whatever work the
 // invocation runs (experiments or benchmarks), for digging into the
@@ -52,7 +56,7 @@ func main() {
 	benchjson := flag.Bool("benchjson", false, "run the sharded scaling benchmark and write BENCH_<rev>.json")
 	benchout := flag.String("benchout", "", "output path for -benchjson ('-' = stdout; default BENCH_<rev>.json)")
 	rev := flag.String("rev", "", "revision stamp for -benchjson (default: git rev-parse --short HEAD)")
-	baseline := flag.String("baseline", "", "old BENCH json to compare against (implies -benchjson)")
+	baseline := flag.String("baseline", "", "old BENCH json(s) to compare against, comma-separated oldest first (implies -benchjson; 2+ files print a trend table)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -237,7 +241,93 @@ func writeBenchJSON(outPath, revFlag, baselinePath string) error {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
 	}
 	if baselinePath != "" {
-		return printBaseline(doc, baselinePath)
+		var paths []string
+		for _, p := range strings.Split(baselinePath, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				paths = append(paths, p)
+			}
+		}
+		switch len(paths) {
+		case 0:
+			return fmt.Errorf("baseline: no paths in %q", baselinePath)
+		case 1:
+			return printBaseline(doc, paths[0])
+		default:
+			return printTrend(doc, paths)
+		}
+	}
+	return nil
+}
+
+// printTrend renders the fresh run against a series of committed BENCH
+// captures as one table: a ms/op column per capture (oldest first, fresh
+// run last) and the overall speedup of the fresh run against the oldest
+// capture that has the benchmark. Rows keep the first capture's order;
+// benchmarks it lacks follow in encounter order, with "-" in columns that
+// never measured them — a renamed benchmark shows as a dying row next to a
+// new one instead of vanishing.
+func printTrend(doc benchFile, paths []string) error {
+	type capture struct {
+		label string
+		order []string
+		recs  map[string]benchRecord
+	}
+	index := func(label string, bs []benchRecord) capture {
+		c := capture{label: label, recs: make(map[string]benchRecord, len(bs))}
+		for _, b := range bs {
+			c.order = append(c.order, b.Name)
+			c.recs[b.Name] = b
+		}
+		return c
+	}
+	var caps []capture
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		var base benchFile
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("baseline %s: %w", p, err)
+		}
+		caps = append(caps, index(base.Rev, base.Benchmarks))
+	}
+	caps = append(caps, index(doc.Rev+"*", doc.Benchmarks))
+
+	var names []string
+	seen := map[string]bool{}
+	for _, c := range caps {
+		for _, n := range c.order {
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+	}
+
+	fmt.Printf("benchmark trend, ms/op (oldest first; * = this run):\n")
+	header := fmt.Sprintf("  %-40s", "benchmark")
+	for _, c := range caps {
+		header += fmt.Sprintf(" %12s", c.label)
+	}
+	fmt.Println(header + "  speedup")
+	for _, n := range names {
+		line := fmt.Sprintf("  %-40s", n)
+		oldest := -1.0
+		for _, c := range caps {
+			if b, ok := c.recs[n]; ok {
+				line += fmt.Sprintf(" %12.1f", b.NsPerOp/1e6)
+				if oldest < 0 {
+					oldest = b.NsPerOp
+				}
+			} else {
+				line += fmt.Sprintf(" %12s", "-")
+			}
+		}
+		if b, ok := caps[len(caps)-1].recs[n]; ok && oldest > 0 && oldest != b.NsPerOp {
+			line += fmt.Sprintf("  %6.2fx", oldest/b.NsPerOp)
+		}
+		fmt.Println(line)
 	}
 	return nil
 }

@@ -15,6 +15,7 @@
 //	islandsprobe [-seed N] [-experiments | -only fig2,fig9,...] [-full]
 //	             [-seeds N] [-geometry S:C:LLC[:fabric],...] [-latscale 0.5,1,2]
 //	             [-parallel N] [-shards N] [-progress] [-celltimes] [-baseline FILE]
+//	             [-store DIR]
 //
 // -seeds N replicates every cell of the selected experiments over N seeds
 // through the study API's Seeds wrapper, doubling each table's columns
@@ -32,6 +33,15 @@
 // the shard setting, and -baseline FILE (a saved -celltimes stderr
 // capture, typically recorded at -shards 1) adds per-cell speedup factors
 // against that recording.
+//
+// -store DIR memoizes experiment cells in a persistent content-addressed
+// result store: a warm rerun of the same probe serves every cell from the
+// archive — zero simulations, byte-identical stdout (CI runs the probe
+// twice through one store and diffs). -celltimes lines gain a
+// "cache=hit|miss" field, and a "store: hits=N misses=M" summary lands on
+// stderr at exit. Stores self-invalidate when simulated behavior changes
+// (every key is salted with the build's golden fingerprint), so serving
+// stale results across code changes is impossible.
 package main
 
 import (
@@ -58,6 +68,7 @@ func main() {
 	progress := flag.Bool("progress", false, "report per-cell experiment progress on stderr")
 	celltimes := flag.Bool("celltimes", false, "report per-cell wall-clock on stderr (the accounting behind cell cost hints)")
 	baseline := flag.String("baseline", "", "saved -celltimes capture to compute per-cell speedups against (implies -celltimes)")
+	storeDir := flag.String("store", "", "result-store directory (created if missing): memoize experiment cells across runs")
 	flag.Parse()
 
 	if *list {
@@ -122,6 +133,28 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %d/%d cells (%s)\n", exp, done, total, cell)
 		}
 	}
+	// hits/misses and lastHit are written by the CellCache callback and read
+	// by the CellTime callback right after it; the executor serializes both
+	// under one mutex, so plain variables are safe.
+	var hits, misses int
+	var lastHit bool
+	if *storeDir != "" {
+		store, err := islands.OpenResultStore(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "islandsprobe: %v\n", err)
+			os.Exit(2)
+		}
+		defer store.Close()
+		opt.Store = store
+		opt.CellCache = func(exp, cell string, hit bool) {
+			if hit {
+				hits++
+			} else {
+				misses++
+			}
+			lastHit = hit
+		}
+	}
 	if *celltimes || *baseline != "" {
 		base, err := loadBaseline(*baseline)
 		if err != nil {
@@ -130,11 +163,25 @@ func main() {
 		}
 		opt.CellTime = func(exp, cell string, elapsed time.Duration) {
 			line := fmt.Sprintf("celltime %s shards=%d %.3fs", cell, *shards, elapsed.Seconds())
+			// The cache token rides after the seconds field, which older
+			// -baseline parsers stop at.
+			if opt.Store != nil {
+				if lastHit {
+					line += " cache=hit"
+				} else {
+					line += " cache=miss"
+				}
+			}
 			if ref, ok := base[cell]; ok && elapsed > 0 {
 				line += fmt.Sprintf(" speedup=%.2fx", ref.Seconds()/elapsed.Seconds())
 			}
 			fmt.Fprintln(os.Stderr, line)
 		}
+	}
+	if opt.Store != nil {
+		defer func() {
+			fmt.Fprintf(os.Stderr, "store: hits=%d misses=%d\n", hits, misses)
+		}()
 	}
 
 	probeDeployments(*seed, *shards)

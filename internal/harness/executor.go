@@ -6,20 +6,27 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"islands/internal/resultstore"
 )
 
 // dispatchOrder returns the indices in which the parallel executor starts
-// cells: by descending CostHint, declaration order within equal hints.
-// Starting the known-long cells (disk-bound fig14 points, forced-full fig3
-// windows) first keeps them off the tail of the schedule, where one
-// straggler would dominate the plan's critical path at high worker counts.
-func dispatchOrder(cells []Cell) []int {
+// cells: by descending cost estimate, declaration order within equal
+// estimates. Starting the known-long cells (disk-bound fig14 points,
+// forced-full fig3 windows) first keeps them off the tail of the schedule,
+// where one straggler would dominate the plan's critical path at high
+// worker counts. With a store, a cell's estimate is its learned wall-clock
+// from earlier runs (hintFor) rather than the static CostHint rank;
+// estimates only move wall-clock, never results.
+func dispatchOrder(cells []Cell, st *resultstore.Store) []int {
 	order := make([]int, len(cells))
+	hints := make([]float64, len(cells))
 	for i := range order {
 		order[i] = i
+		hints[i] = hintFor(st, &cells[i])
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		return cells[order[a]].CostHint > cells[order[b]].CostHint
+		return hints[order[a]] > hints[order[b]]
 	})
 	return order
 }
@@ -34,8 +41,9 @@ func dispatchOrder(cells []Cell) []int {
 // Finalize runs last — so a parallel run is cell-for-cell identical to a
 // sequential one (TestParallelMatchesSequential asserts this for every
 // registered experiment). The executor also measures each cell's wall-clock
-// and reports it through opt.CellTime, the accounting behind future static
-// hints.
+// and reports it through opt.CellTime; under opt.Store the wall-clocks are
+// persisted as learned dispatch hints and cell results are memoized by
+// content-addressed key, so a warm run serves hits without simulating.
 func (p *Plan) Execute(opt Options) *Result {
 	n := len(p.Cells)
 	metrics := make([]Metrics, n)
@@ -63,16 +71,20 @@ func (p *Plan) Execute(opt Options) *Result {
 		}
 	}
 
-	// report serializes the Progress and CellTime callbacks; done counts
+	// report serializes the CellCache, CellTime and Progress callbacks (in
+	// that order, so observers can correlate them per cell); done counts
 	// completions, which under parallelism is not the cell index.
 	var mu sync.Mutex
 	done := 0
-	report := func(i int, elapsed time.Duration) {
-		if opt.Progress == nil && opt.CellTime == nil {
+	report := func(i int, elapsed time.Duration, hit bool) {
+		if opt.Progress == nil && opt.CellTime == nil && opt.CellCache == nil {
 			return
 		}
 		mu.Lock()
 		done++
+		if opt.CellCache != nil {
+			opt.CellCache(p.Result.ID, p.Cells[i].Name, hit)
+		}
 		if opt.CellTime != nil {
 			opt.CellTime(p.Result.ID, p.Cells[i].Name, elapsed)
 		}
@@ -84,8 +96,26 @@ func (p *Plan) Execute(opt Options) *Result {
 
 	runCell := func(i int) {
 		start := time.Now()
-		metrics[i] = p.Cells[i].Run(opt)
-		report(i, time.Since(start))
+		c := &p.Cells[i]
+		if opt.Store != nil {
+			k := cellKey(p.Result.ID, c, opt)
+			if _, ok := opt.Store.Get(k, &metrics[i]); ok {
+				report(i, time.Since(start), true)
+				return
+			}
+			metrics[i] = c.Run(opt)
+			elapsed := time.Since(start)
+			// Store errors (a full disk, a revoked handle) must not fail the
+			// run: the cache is an accelerator, the simulation result stands.
+			_ = opt.Store.Put(k, c.Name, &metrics[i], elapsed)
+			if elapsed >= minHintElapsed {
+				_ = opt.Store.PutHint(c.Name, elapsed)
+			}
+			report(i, elapsed, false)
+			return
+		}
+		metrics[i] = c.Run(opt)
+		report(i, time.Since(start), false)
 	}
 
 	if workers <= 1 {
@@ -93,7 +123,7 @@ func (p *Plan) Execute(opt Options) *Result {
 			runCell(i)
 		}
 	} else {
-		order := dispatchOrder(p.Cells)
+		order := dispatchOrder(p.Cells, opt.Store)
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {

@@ -23,10 +23,13 @@ func windows(opt Options) (sim.Time, sim.Time) {
 	return 2 * sim.Millisecond, 20 * sim.Millisecond
 }
 
-// runMicro deploys `instances` over machine m and measures the
-// microbenchmark. tweak (optional) adjusts the config before building.
-func runMicro(m *topology.Machine, instances int, rows int64, mc workload.MicroConfig,
-	localOnly bool, opt Options, tweak func(*core.Config)) core.Measurement {
+// microConfig builds the deployment config and workload config of a
+// microbenchmark cell — the cell's complete semantic input, shared by
+// runMicro (which deploys it) and MicroCell's result-store key (which
+// hashes it). Keeping one builder guarantees the key covers exactly what
+// executes.
+func microConfig(m *topology.Machine, instances int, rows int64, mc workload.MicroConfig,
+	localOnly bool, opt Options, tweak func(*core.Config)) (core.Config, workload.MicroConfig) {
 
 	cfg := core.DefaultConfig(m, instances, rows)
 	cfg.LocalOnly = localOnly
@@ -35,11 +38,20 @@ func runMicro(m *topology.Machine, instances int, rows int64, mc workload.MicroC
 	if tweak != nil {
 		tweak(&cfg)
 	}
-	d := core.NewDeployment(cfg)
-	defer d.Close()
 	mc.Table = 1
 	mc.GlobalRows = rows
 	mc.Seed = opt.Seed + 1
+	return cfg, mc
+}
+
+// runMicro deploys `instances` over machine m and measures the
+// microbenchmark. tweak (optional) adjusts the config before building.
+func runMicro(m *topology.Machine, instances int, rows int64, mc workload.MicroConfig,
+	localOnly bool, opt Options, tweak func(*core.Config)) core.Measurement {
+
+	cfg, mc := microConfig(m, instances, rows, mc, localOnly, opt, tweak)
+	d := core.NewDeployment(cfg)
+	defer d.Close()
 	d.Start(workload.NewMicro(mc, d.Part))
 	warmup, window := windows(opt)
 	return d.Run(warmup, window)
@@ -52,6 +64,20 @@ func runMicro(m *topology.Machine, instances int, rows int64, mc workload.MicroC
 // single-kind mixes), keeping their fingerprints byte-identical.
 func runTPCC(m *topology.Machine, s TPCCSpec, opt Options,
 	instanceCores [][]topology.CoreID) core.Measurement {
+
+	cfg, mix := tpccConfig(m, s, opt, instanceCores)
+	d := core.NewDeployment(cfg)
+	defer d.Close()
+	d.Start(workload.NewMix(mix, d.Part))
+	warmup, window := windows(opt)
+	return d.Run(warmup, window)
+}
+
+// tpccConfig builds the deployment and mix configs of a TPC-C cell — the
+// cell's complete semantic input, shared by runTPCC and TPCCCell's
+// result-store key.
+func tpccConfig(m *topology.Machine, s TPCCSpec, opt Options,
+	instanceCores [][]topology.CoreID) (core.Config, workload.MixConfig) {
 
 	cfg := core.Config{
 		Machine:       m,
@@ -66,24 +92,21 @@ func runTPCC(m *topology.Machine, s TPCCSpec, opt Options,
 	for _, t := range workload.MixTableSet(s.Warehouses, s.Mix, s.Sizing) {
 		cfg.Tables = append(cfg.Tables, core.TableDecl{ID: t.ID, Name: t.Name, RowBytes: t.RowBytes, Rows: t.Rows})
 	}
-	d := core.NewDeployment(cfg)
-	defer d.Close()
-	src := workload.NewMix(workload.MixConfig{
+	mix := workload.MixConfig{
 		Warehouses:    s.Warehouses,
 		Weights:       s.Mix,
 		RemotePct:     s.RemotePct,
 		RemoteItemPct: s.RemoteItemPct,
 		Sizing:        s.Sizing,
 		Seed:          opt.Seed + 2,
-	}, d.Part)
-	d.Start(src)
-	warmup, window := windows(opt)
-	return d.Run(warmup, window)
+	}
+	return cfg, mix
 }
 
-// runSource deploys a user-defined request source over the spec's machine
-// and measures it — the open-ended sibling of runMicro/runTPCC.
-func runSource(s SourceSpec, opt Options) core.Measurement {
+// sourceConfig builds the deployment config of a source cell, shared by
+// runSource and SourceCell's result-store key (the source itself is hashed
+// separately via SourceSpec.Key).
+func sourceConfig(s SourceSpec, opt Options) core.Config {
 	cfg := core.Config{
 		Machine:   s.Machine(),
 		Instances: s.Instances,
@@ -97,6 +120,13 @@ func runSource(s SourceSpec, opt Options) core.Measurement {
 	if s.Tweak != nil {
 		s.Tweak(&cfg)
 	}
+	return cfg
+}
+
+// runSource deploys a user-defined request source over the spec's machine
+// and measures it — the open-ended sibling of runMicro/runTPCC.
+func runSource(s SourceSpec, opt Options) core.Measurement {
+	cfg := sourceConfig(s, opt)
 	d := core.NewDeployment(cfg)
 	defer d.Close()
 	d.Start(s.Source(d, opt))

@@ -76,7 +76,7 @@ func TestFabricForceFullCellsHinted(t *testing.T) {
 	if hinted == 0 || hinted == len(p.Cells) {
 		t.Fatalf("fabric has %d/%d hinted cells; want some but not all", hinted, len(p.Cells))
 	}
-	order := dispatchOrder(p.Cells)
+	order := dispatchOrder(p.Cells, nil)
 	for i := 0; i < hinted; i++ {
 		if p.Cells[order[i]].CostHint == 0 {
 			t.Fatalf("dispatch slot %d is an unhinted cell before all hinted ones ran", i)

@@ -1,0 +1,98 @@
+package harness
+
+import "testing"
+
+// TestParseGeometryErrors sweeps the malformed-spec space of ParseGeometry:
+// wrong field counts, non-numeric fields, and zero or negative dimensions
+// must all error rather than build a degenerate machine.
+func TestParseGeometryErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"4",
+		"4:6",
+		"4:6:8:ring:extra",
+		"a:6:8",
+		"4:b:8",
+		"4:6:c",
+		"4.5:6:8",
+		"-1:6:8",
+		"4:-6:8",
+		"4:6:-8",
+		"4:0:8",
+		"4:6:0",
+	}
+	for _, s := range bad {
+		if g, err := ParseGeometry(s); err == nil {
+			t.Errorf("ParseGeometry(%q) accepted: %+v", s, g)
+		}
+	}
+
+	// The minimal valid spec still parses, so the loop above is not
+	// rejecting everything.
+	g, err := ParseGeometry(" 2:2:1 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Sockets != 2 || g.CoresPerSocket != 2 || g.LLCBytes != 1<<20 || g.Interconnect.Sockets() != 0 {
+		t.Fatalf("parsed %+v", g)
+	}
+}
+
+// TestParseGeometriesErrors covers the list-level failure modes: an empty
+// or all-separator list, and one bad element poisoning the whole list.
+func TestParseGeometriesErrors(t *testing.T) {
+	for _, s := range []string{"", ",", ", ,", ",,"} {
+		if gs, err := ParseGeometries(s); err == nil {
+			t.Errorf("ParseGeometries(%q) accepted: %v", s, gs)
+		}
+	}
+	if gs, err := ParseGeometries("4:6:8,0:6:8"); err == nil {
+		t.Errorf("list with a zero-socket element accepted: %v", gs)
+	}
+	if gs, err := ParseGeometries("4:6:8,5:5:5:hypercube"); err == nil {
+		t.Errorf("list with a bad-fabric element accepted: %v", gs)
+	}
+}
+
+// TestParseLatencyScalesErrors covers -latscale's failure modes: empty
+// lists, non-numeric entries, and the zero/negative scales that would
+// silently delete or invert cross-socket latency.
+func TestParseLatencyScalesErrors(t *testing.T) {
+	for _, s := range []string{"", ",", "x", "1,x", "0", "-1", "1,0,2", "0.5,-2"} {
+		if vs, err := ParseLatencyScales(s); err == nil {
+			t.Errorf("ParseLatencyScales(%q) accepted: %v", s, vs)
+		}
+	}
+	vs, err := ParseLatencyScales(" 0.5, 1 ,2,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 || vs[0] != 0.5 || vs[1] != 1 || vs[2] != 2 {
+		t.Fatalf("parsed %v", vs)
+	}
+}
+
+// TestFabricForErrors covers the fabric clause beyond what the geometry
+// tests hit: every named fabric builds over a compatible socket count, and
+// unknown names or incompatible counts error.
+func TestFabricForErrors(t *testing.T) {
+	for _, name := range []string{"full", "ring", "mesh", "torus"} {
+		ic, err := FabricFor(name, 6)
+		if err != nil {
+			t.Errorf("FabricFor(%q, 6): %v", name, err)
+			continue
+		}
+		if ic.Sockets() != 6 {
+			t.Errorf("FabricFor(%q, 6) connects %d sockets", name, ic.Sockets())
+		}
+	}
+	if ic, err := FabricFor("hypercube", 8); err != nil || ic.Sockets() != 8 {
+		t.Errorf("FabricFor(hypercube, 8) = %v, %v", ic, err)
+	}
+	if _, err := FabricFor("hypercube", 6); err == nil {
+		t.Error("hypercube over 6 sockets accepted")
+	}
+	if _, err := FabricFor("grid", 4); err == nil {
+		t.Error("unknown fabric name accepted")
+	}
+}

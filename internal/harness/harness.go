@@ -10,6 +10,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"islands/internal/resultstore"
 )
 
 // Options tune an experiment run.
@@ -46,10 +48,26 @@ type Options struct {
 	// cell's name, and the done/total cell counts of the experiment.
 	Progress func(exp, cell string, done, total int)
 	// CellTime, when non-nil, receives each completed cell's measured
-	// wall-clock (serialized like Progress, and called before it). This is
-	// the executor's per-cell accounting: long-running outliers found here
-	// become static Cell.CostHint values so later runs schedule them first.
+	// wall-clock (serialized like Progress, and called before it). Under a
+	// Store, per-cell wall-clocks are also persisted as learned cost hints
+	// that override static Cell.CostHint values in later runs' dispatch
+	// order.
 	CellTime func(exp, cell string, elapsed time.Duration)
+
+	// Store, when non-nil, memoizes cell results across runs: before
+	// dispatching a cell the executor derives its content-addressed key
+	// (cell spec + machine + seed + mode, salted with a fingerprint of the
+	// code's simulated behavior) and serves the stored Metrics on a hit —
+	// skipping the simulation entirely, with bit-identical tables. Misses
+	// run normally and append their result, so a store fills incrementally
+	// and is shared safely by sequential and parallel runs at any Shards
+	// setting. Open one with OpenStore.
+	Store *resultstore.Store
+	// CellCache, when non-nil, is called once per completed cell with
+	// whether it was served from Store (always false without a Store). It
+	// is serialized with the other callbacks and called before CellTime,
+	// so a CellTime observer can attribute the wall-clock it receives.
+	CellCache func(exp, cell string, hit bool)
 }
 
 // Table is one printable result grid.

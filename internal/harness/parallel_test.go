@@ -106,7 +106,7 @@ func TestDispatchOrderHonorsCostHints(t *testing.T) {
 		{Name: "d", CostHint: 1},
 		{Name: "e", CostHint: 2},
 	}
-	got := dispatchOrder(cells)
+	got := dispatchOrder(cells, nil)
 	want := []int{1, 4, 3, 0, 2}
 	for i := range want {
 		if got[i] != want[i] {
@@ -133,7 +133,7 @@ func TestFig14DiskBoundCellsHinted(t *testing.T) {
 	if hinted == 0 || hinted == len(p.Cells) {
 		t.Fatalf("fig14 has %d/%d hinted cells; want some but not all", hinted, len(p.Cells))
 	}
-	order := dispatchOrder(p.Cells)
+	order := dispatchOrder(p.Cells, nil)
 	for i := 0; i < hinted; i++ {
 		if p.Cells[order[i]].CostHint == 0 {
 			t.Fatalf("dispatch slot %d is an unhinted cell before all hinted ones ran", i)

@@ -3,6 +3,7 @@ package harness
 import (
 	"islands/internal/core"
 	"islands/internal/engine"
+	"islands/internal/resultstore"
 	"islands/internal/topology"
 	"islands/internal/workload"
 )
@@ -58,6 +59,16 @@ type Cell struct {
 	// build every piece of state they touch (the executor may invoke cells
 	// of one plan concurrently from multiple goroutines).
 	Run func(opt Options) Metrics
+	// Key, when non-nil, writes the cell's semantic identity — everything
+	// Run's simulation consumes — into the hasher, for the persistent
+	// result store (Options.Store). It must apply the same option
+	// transforms Run applies (seed deltas, forced-full mode) and hash the
+	// same configs Run builds, so two cells with equal keys are guaranteed
+	// to produce bit-identical Metrics. Cells with a nil Key still cache,
+	// under a positional key over (plan ID, cell name, options) — sound for
+	// cells whose behavior is a pure function of the code, which the code
+	// fingerprint in every key covers.
+	Key func(opt Options, h *resultstore.Hasher)
 	// Emits maps the cell's metrics onto result tables.
 	Emits []Emit
 }
@@ -115,13 +126,25 @@ func MicroCell(name string, s MicroSpec, emits ...Emit) Cell {
 	if s.ForceFull {
 		hint = 1
 	}
-	return Cell{Name: name, CostHint: hint, Emits: emits, Run: func(opt Options) Metrics {
-		opt.Seed += s.SeedDelta
-		if s.ForceFull {
-			opt.Quick = false
-		}
-		return Metrics{M: runMicro(s.Machine(), s.Instances, s.Rows, s.MC, s.LocalOnly, opt, s.Tweak)}
-	}}
+	return Cell{Name: name, CostHint: hint, Emits: emits,
+		Run: func(opt Options) Metrics {
+			opt.Seed += s.SeedDelta
+			if s.ForceFull {
+				opt.Quick = false
+			}
+			return Metrics{M: runMicro(s.Machine(), s.Instances, s.Rows, s.MC, s.LocalOnly, opt, s.Tweak)}
+		},
+		Key: func(opt Options, h *resultstore.Hasher) {
+			opt.Seed += s.SeedDelta
+			if s.ForceFull {
+				opt.Quick = false
+			}
+			h.Str("micro")
+			cfg, mc := microConfig(s.Machine(), s.Instances, s.Rows, s.MC, s.LocalOnly, opt, s.Tweak)
+			keyConfig(h, cfg)
+			h.Value(mc)
+			keyOptions(h, opt)
+		}}
 }
 
 // TPCCSpec declares a TPC-C deployment cell. Mix selects the transaction
@@ -158,18 +181,35 @@ func TPCCCell(name string, s TPCCSpec, emits ...Emit) Cell {
 	if s.ForceFull {
 		hint = 1
 	}
-	return Cell{Name: name, CostHint: hint, Emits: emits, Run: func(opt Options) Metrics {
-		opt.Seed += s.SeedDelta
-		if s.ForceFull {
-			opt.Quick = false
-		}
-		m := s.Machine()
-		var cores [][]topology.CoreID
-		if s.Placement != nil {
-			cores = s.Placement(m, opt)
-		}
-		return Metrics{M: runTPCC(m, s, opt, cores)}
-	}}
+	return Cell{Name: name, CostHint: hint, Emits: emits,
+		Run: func(opt Options) Metrics {
+			opt.Seed += s.SeedDelta
+			if s.ForceFull {
+				opt.Quick = false
+			}
+			m := s.Machine()
+			var cores [][]topology.CoreID
+			if s.Placement != nil {
+				cores = s.Placement(m, opt)
+			}
+			return Metrics{M: runTPCC(m, s, opt, cores)}
+		},
+		Key: func(opt Options, h *resultstore.Hasher) {
+			opt.Seed += s.SeedDelta
+			if s.ForceFull {
+				opt.Quick = false
+			}
+			m := s.Machine()
+			var cores [][]topology.CoreID
+			if s.Placement != nil {
+				cores = s.Placement(m, opt)
+			}
+			h.Str("tpcc")
+			cfg, mix := tpccConfig(m, s, opt, cores)
+			keyConfig(h, cfg)
+			h.Value(mix)
+			keyOptions(h, opt)
+		}}
 }
 
 // SourceSpec declares a deployment cell driven by a user-defined request
@@ -195,6 +235,14 @@ type SourceSpec struct {
 	ForceFull bool
 	// Tweak optionally adjusts the built config (think time, WAL, disk, ...).
 	Tweak func(*core.Config)
+	// Key, when non-nil, hashes the Source factory's semantic identity (for
+	// a trace replayer: the trace content and rotation) into the cell's
+	// result-store key. The deployment config, options and seed are hashed
+	// by the cell around it; Key only needs to cover what the factory
+	// closure captures. A nil Key leaves the cell on the positional
+	// fallback, sound only for sources fully determined by the study's
+	// identity and options.
+	Key func(opt Options, h *resultstore.Hasher)
 }
 
 // SourceCell builds a deployment cell around a user-defined request source.
@@ -203,13 +251,26 @@ func SourceCell(name string, s SourceSpec, emits ...Emit) Cell {
 	if s.ForceFull {
 		hint = 1
 	}
-	return Cell{Name: name, CostHint: hint, Emits: emits, Run: func(opt Options) Metrics {
+	c := Cell{Name: name, CostHint: hint, Emits: emits, Run: func(opt Options) Metrics {
 		opt.Seed += s.SeedDelta
 		if s.ForceFull {
 			opt.Quick = false
 		}
 		return Metrics{M: runSource(s, opt)}
 	}}
+	if s.Key != nil {
+		c.Key = func(opt Options, h *resultstore.Hasher) {
+			opt.Seed += s.SeedDelta
+			if s.ForceFull {
+				opt.Quick = false
+			}
+			h.Str("source")
+			keyConfig(h, sourceConfig(s, opt))
+			s.Key(opt, h)
+			keyOptions(h, opt)
+		}
+	}
+	return c
 }
 
 // ScalarCell builds a cell around a custom measurement returning one value

@@ -1,0 +1,242 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"islands/internal/topology"
+	"islands/internal/workload"
+)
+
+// cacheCounter tallies executor CellCache callbacks.
+type cacheCounter struct {
+	hits, misses int
+}
+
+func (c *cacheCounter) fn(exp, cell string, hit bool) {
+	if hit {
+		c.hits++
+	} else {
+		c.misses++
+	}
+}
+
+// fingerprintAll runs every registered experiment under opt and returns the
+// concatenated fingerprint lines.
+func fingerprintAll(opt Options) []byte {
+	var buf bytes.Buffer
+	for _, e := range All() {
+		e.Run(opt).Fingerprint(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestStoreWarmRunIsByteIdentical is the tentpole contract: a cold
+// sequential run fills the store; after a reopen (so hits come off disk,
+// not process memory), a warm parallel sharded run of the same experiments
+// produces byte-identical fingerprints with zero cell simulations.
+func TestStoreWarmRunIsByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var cold cacheCounter
+	opt := Options{Quick: true, Short: true, Seed: 42, Parallel: 1, Store: st, CellCache: cold.fn}
+	coldFP := fingerprintAll(opt)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if cold.misses == 0 {
+		t.Fatal("cold run reported no misses; the cache accounting is broken")
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Loaded() == 0 {
+		t.Fatal("reopened store loaded no records from disk")
+	}
+
+	// The warm run flips every wall-clock-only knob at once: cell-level
+	// parallelism and kernel sharding. A store written by a sequential
+	// single-shard run must serve it entirely.
+	var warm cacheCounter
+	wopt := opt
+	wopt.Parallel = 4
+	wopt.Shards = 4
+	wopt.Store = st2
+	wopt.CellCache = warm.fn
+	warmFP := fingerprintAll(wopt)
+
+	if warm.misses != 0 {
+		t.Fatalf("warm run had %d misses (hits=%d); want all %d cells served from the store",
+			warm.misses, warm.hits, cold.hits+cold.misses)
+	}
+	if warm.hits != cold.hits+cold.misses {
+		t.Fatalf("warm run reported %d cells, cold run %d", warm.hits, cold.hits+cold.misses)
+	}
+	if !bytes.Equal(coldFP, warmFP) {
+		t.Fatal("warm-cache fingerprint differs from cold run")
+	}
+}
+
+// TestStoreSeedReplicaSharing pins the Seeds key contract: replica r's key
+// equals the plain study's key at seed+r*SeedStride, so replica 0 of a
+// Seeds(2) run is served by the records an unreplicated run wrote and only
+// replica 1 simulates.
+func TestStoreSeedReplicaSharing(t *testing.T) {
+	e, ok := Get("fig7")
+	if !ok {
+		t.Fatal("fig7 not registered")
+	}
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	var first cacheCounter
+	opt := Options{Quick: true, Short: true, Seed: 42, Parallel: 1, Store: st, CellCache: first.fn}
+	e.Study(opt).Run(opt)
+	cells := first.hits + first.misses
+	if first.misses != cells || cells == 0 {
+		t.Fatalf("plain run: hits=%d misses=%d; want all %d cells to miss a fresh store",
+			first.hits, first.misses, cells)
+	}
+
+	var second cacheCounter
+	opt.CellCache = second.fn
+	e.Study(opt).Seeds(2).Run(opt)
+	if second.hits != cells || second.misses != cells {
+		t.Fatalf("Seeds(2) run: hits=%d misses=%d; want replica 0 fully served (%d hits) and replica 1 fully simulated (%d misses)",
+			second.hits, second.misses, cells, cells)
+	}
+}
+
+// TestCellKeyCanonicalization pins what a semantic key must and must not
+// depend on: Shards and Parallel are wall-clock knobs (same key), seed and
+// quick mode are semantic inputs (different keys), and two distinct specs
+// never collide.
+func TestCellKeyCanonicalization(t *testing.T) {
+	spec := MicroSpec{
+		Machine: topology.QuadSocket, Instances: 4, Rows: 1000,
+		MC: workload.MicroConfig{RowsPerTxn: 10},
+	}
+	c := MicroCell("key/micro", spec)
+	base := Options{Quick: true, Seed: 42}
+	k := cellKey("p", &c, base)
+
+	shards := base
+	shards.Shards = 4
+	shards.Parallel = 8
+	if cellKey("p", &c, shards) != k {
+		t.Fatal("key depends on Shards/Parallel; sequential stores could not serve parallel runs")
+	}
+
+	seed := base
+	seed.Seed = 43
+	if cellKey("p", &c, seed) == k {
+		t.Fatal("key ignores the seed")
+	}
+	mode := base
+	mode.Quick = false
+	if cellKey("p", &c, mode) == k {
+		t.Fatal("key ignores quick/full mode")
+	}
+
+	spec2 := spec
+	spec2.Instances = 2
+	c2 := MicroCell("key/micro", spec2)
+	if cellKey("p", &c2, base) == k {
+		t.Fatal("two different specs share a key")
+	}
+
+	// Positional fallback: same name+plan collides (by design), different
+	// name or plan does not.
+	s1 := ScalarCell("key/scalar", func(Options) float64 { return 1 })
+	s2 := ScalarCell("key/scalar", func(Options) float64 { return 2 })
+	s3 := ScalarCell("key/other", func(Options) float64 { return 1 })
+	if cellKey("p", &s1, base) != cellKey("p", &s2, base) {
+		t.Fatal("positional key is not positional")
+	}
+	if cellKey("p", &s1, base) == cellKey("p", &s3, base) {
+		t.Fatal("positional key ignores the cell name")
+	}
+	if cellKey("p", &s1, base) == cellKey("q", &s1, base) {
+		t.Fatal("positional key ignores the plan ID")
+	}
+}
+
+// TestStoreReorderKeepsTables pins the learned-hint contract: a store whose
+// celltimes invert the static cost ranking reorders parallel dispatch, and
+// the assembled tables are byte-identical anyway.
+func TestStoreReorderKeepsTables(t *testing.T) {
+	e, ok := Get("fig8")
+	if !ok {
+		t.Fatal("fig8 not registered")
+	}
+	opt := Options{Quick: true, Short: true, Seed: 42, Parallel: 2}
+	var plain bytes.Buffer
+	e.Run(opt).Fingerprint(&plain)
+
+	// Learn inverted costs: declaration order ascending, so the dispatch
+	// order under hints is the reverse of declaration order.
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	study := e.Study(opt)
+	for i, c := range study.Cells {
+		if err := st.PutHint(c.Name, time.Duration(i+1)*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	order := dispatchOrder(study.Cells, st)
+	for i := range order {
+		if want := len(order) - 1 - i; order[i] != want {
+			t.Fatalf("hinted dispatch order %v; want exact reverse of declaration order", order)
+		}
+	}
+
+	hopt := opt
+	hopt.Store = st
+	var hinted bytes.Buffer
+	e.Run(hopt).Fingerprint(&hinted)
+	if !bytes.Equal(plain.Bytes(), hinted.Bytes()) {
+		t.Fatal("hint-reordered parallel run changed the tables")
+	}
+}
+
+// TestStoreHintElapsedRoundTrip checks the executor persists measured
+// wall-clocks as hints a later Open can read back.
+func TestStoreHintElapsedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := Get("fig7")
+	opt := Options{Quick: true, Short: true, Seed: 42, Parallel: 1, Store: st}
+	e.Run(opt)
+	study := e.Study(opt)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	for _, c := range study.Cells {
+		if d, ok := st2.Hint(c.Name); !ok || d <= 0 {
+			t.Fatalf("cell %s: learned hint missing after reopen (ok=%v d=%v)", c.Name, ok, d)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"islands/internal/resultstore"
 	"islands/internal/topology"
 )
 
@@ -122,6 +123,16 @@ func (s *Study) Seeds(n int) *Study {
 			cc.Run = func(opt Options) Metrics {
 				opt.Seed += delta
 				return run(opt)
+			}
+			// The result-store key gets the identical seed transform, so a
+			// replica's key equals the key of the plain cell at that seed:
+			// replica 0 is served by records the unreplicated study wrote,
+			// and vice versa.
+			if key := c.Key; key != nil {
+				cc.Key = func(opt Options, h *resultstore.Hasher) {
+					opt.Seed += delta
+					key(opt, h)
+				}
 			}
 			// Replicas do not emit directly: the finalizer below assembles
 			// each replica privately and writes mean/stddev.

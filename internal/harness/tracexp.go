@@ -1,12 +1,14 @@
 package harness
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"sort"
 
 	"islands/internal/core"
 	"islands/internal/engine"
 	"islands/internal/ipc"
+	"islands/internal/resultstore"
 	"islands/internal/topology"
 	"islands/internal/trace"
 	"islands/internal/workload"
@@ -147,6 +149,16 @@ func AdviseTrace(t *trace.Trace, geos []Geometry, sizes []int, seeds int, opt Op
 	decls := TraceTableDecls(t.Tables)
 	baseSeed := opt.Seed
 
+	// The advisor's cells all run under the study ID "traceadvise", so a
+	// positional result-store key could not tell two different traces apart.
+	// Hash the trace's canonical encoding once and give every candidate cell
+	// a semantic key over it; replicas differ by stream rotation.
+	traceBytes, err := t.AppendBinary(nil)
+	if err != nil {
+		return nil, fmt.Errorf("harness: encoding trace for result keys: %w", err)
+	}
+	traceSum := sha256.Sum256(traceBytes)
+
 	type cand struct {
 		label     string
 		geo       Geometry
@@ -200,6 +212,11 @@ func AdviseTrace(t *trace.Trace, geos []Geometry, sizes []int, seeds int, opt Op
 					panic(fmt.Sprintf("harness: %v", err))
 				}
 				return r
+			},
+			Key: func(o Options, h *resultstore.Hasher) {
+				h.Str("tracereplay")
+				h.Bytes(traceSum[:])
+				h.I64((o.Seed - baseSeed) / SeedStride)
 			},
 		},
 			TPSEmit(0, i, 0),

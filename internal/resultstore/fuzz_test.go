@@ -1,0 +1,81 @@
+package resultstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fuzzSeedArchive builds a small valid archive file to seed the corpus.
+func fuzzSeedArchive(t interface{ Fatal(...any) }) []byte {
+	dir, err := os.MkdirTemp("", "isrfuzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	s, err := Open(dir, Metrics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var k1, k2 Key
+	k1[0], k2[31] = 0xAA, 0x55
+	if err := s.Put(k1, "fuzz/a", sampleMetrics(), 3*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k2, "fuzz/b", Metrics{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	files, _ := filepath.Glob(filepath.Join(dir, "cells-*.isr"))
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// FuzzStoreDecode mirrors FuzzTraceDecode's contract for the result-store
+// decoder: arbitrary input must either error cleanly or decode into an
+// archive whose re-encoding decodes back to an equal archive (a decode→
+// encode→decode fixed point). No input may panic or hang the decoder.
+func FuzzStoreDecode(f *testing.F) {
+	valid := fuzzSeedArchive(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])   // truncated mid-record
+	f.Add(valid[:len(cellsMagic)]) // magic only
+	f.Add([]byte{})
+	f.Add([]byte("ISLRSLT1"))
+	f.Add(append(append([]byte{}, valid...), 0xFF, 0x7F)) // trailing junk
+	flipped := append([]byte{}, valid...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	// A hand-built header with a pathological schema.
+	f.Add([]byte("ISLRSLT1\x0c[4096]{A:i8}"))
+	f.Add([]byte("ISLRSLT1\x02[]"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeArchive(data)
+		if err != nil {
+			return // clean error: fine
+		}
+		enc, err := a.AppendBinary(nil)
+		if err != nil {
+			t.Fatalf("decoded archive failed to re-encode: %v", err)
+		}
+		b, err := DecodeArchive(enc)
+		if err != nil {
+			t.Fatalf("re-encoded archive failed to decode: %v", err)
+		}
+		if a.Schema != b.Schema || !reflect.DeepEqual(a.Records, b.Records) {
+			t.Fatal("decode→encode→decode is not a fixed point")
+		}
+		// And the fixed point is byte-stable: encoding again is identity.
+		enc2, err := b.AppendBinary(nil)
+		if err != nil || !bytes.Equal(enc, enc2) {
+			t.Fatalf("re-encoding is not byte-stable (err=%v)", err)
+		}
+	})
+}

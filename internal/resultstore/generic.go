@@ -1,0 +1,324 @@
+package resultstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The generic codec decodes an archive file without the Go type it was
+// written from: the header's schema string drives the walk, and values land
+// in schema-shaped Value trees. This is what post-hoc tooling uses to diff
+// two runs recorded by different builds, and what the fuzz target exercises
+// for the "error cleanly or decode→encode→decode fixed point" property.
+
+// Archive is a generically decoded archive file.
+type Archive struct {
+	// Schema is the header's schema string, verbatim.
+	Schema string
+	// Records are the archive's records in file order (an append-only log:
+	// a key may repeat, later records superseding earlier ones).
+	Records []Record
+}
+
+// Record is one generically decoded cell record.
+type Record struct {
+	Key       Key
+	Name      string
+	ElapsedNS uint64
+	Value     Value
+}
+
+// Value is one decoded value, shaped by the archive's schema: scalars carry
+// their bits (ints two's-complement, floats IEEE, bool 0/1), strings carry
+// Str, and structs/slices/arrays carry Elems.
+type Value struct {
+	Bits  uint64
+	Str   string
+	Elems []Value
+}
+
+// DecodeArchive strictly decodes a whole archive file (header, schema,
+// records). Any malformation — bad magic, unparseable schema, a truncated
+// or overlong record — is an error; DecodeArchive never panics and never
+// silently drops trailing bytes. (Store.Open is deliberately more lenient
+// about a truncated tail record: an interrupted append must not poison the
+// cache. Tooling and fuzzing want the strict view.)
+func DecodeArchive(data []byte) (*Archive, error) {
+	schema, node, rest, err := decodeHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	a := &Archive{Schema: schema}
+	data = rest
+	for len(data) > 0 {
+		payload, next, err := decodeBytes(data)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := decodeRecord(payload, node)
+		if err != nil {
+			return nil, err
+		}
+		a.Records = append(a.Records, rec)
+		data = next
+	}
+	return a, nil
+}
+
+// decodeHeader parses the cells-file magic and schema, returning the schema
+// string, its parsed tree, and the record bytes.
+func decodeHeader(data []byte) (string, *schemaNode, []byte, error) {
+	if len(data) < len(cellsMagic) || string(data[:len(cellsMagic)]) != cellsMagic {
+		return "", nil, nil, fmt.Errorf("resultstore: bad archive magic")
+	}
+	schemaBytes, rest, err := decodeBytes(data[len(cellsMagic):])
+	if err != nil {
+		return "", nil, nil, err
+	}
+	node, err := parseSchema(string(schemaBytes))
+	if err != nil {
+		return "", nil, nil, err
+	}
+	return string(schemaBytes), node, rest, nil
+}
+
+// decodeRecord decodes one record payload; the whole payload must be
+// consumed.
+func decodeRecord(payload []byte, node *schemaNode) (Record, error) {
+	var rec Record
+	if len(payload) < len(rec.Key) {
+		return rec, errTruncated
+	}
+	copy(rec.Key[:], payload)
+	payload = payload[len(rec.Key):]
+	name, payload, err := decodeBytes(payload)
+	if err != nil {
+		return rec, err
+	}
+	rec.Name = string(name)
+	elapsed, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return rec, errTruncated
+	}
+	rec.ElapsedNS = elapsed
+	rec.Value, payload, err = decodeGeneric(payload[n:], node)
+	if err != nil {
+		return rec, err
+	}
+	if len(payload) != 0 {
+		return rec, fmt.Errorf("resultstore: %d trailing bytes in record", len(payload))
+	}
+	return rec, nil
+}
+
+func decodeGeneric(data []byte, node *schemaNode) (Value, []byte, error) {
+	var v Value
+	switch node.kind {
+	case "bool":
+		if len(data) < 1 {
+			return v, nil, errTruncated
+		}
+		if data[0] > 1 {
+			return v, nil, fmt.Errorf("resultstore: bad bool byte %d", data[0])
+		}
+		v.Bits = uint64(data[0])
+		return v, data[1:], nil
+	case "i8", "i16", "i32", "i64":
+		x, n := binary.Varint(data)
+		if n <= 0 {
+			return v, nil, errTruncated
+		}
+		if err := checkIntRange(node.kind, x); err != nil {
+			return v, nil, err
+		}
+		v.Bits = uint64(x)
+		return v, data[n:], nil
+	case "u8", "u16", "u32", "u64":
+		x, n := binary.Uvarint(data)
+		if n <= 0 {
+			return v, nil, errTruncated
+		}
+		if err := checkUintRange(node.kind, x); err != nil {
+			return v, nil, err
+		}
+		v.Bits = x
+		return v, data[n:], nil
+	case "f32":
+		if len(data) < 4 {
+			return v, nil, errTruncated
+		}
+		v.Bits = uint64(binary.LittleEndian.Uint32(data))
+		return v, data[4:], nil
+	case "f64":
+		if len(data) < 8 {
+			return v, nil, errTruncated
+		}
+		v.Bits = binary.LittleEndian.Uint64(data)
+		return v, data[8:], nil
+	case "str":
+		s, rest, err := decodeBytes(data)
+		if err != nil {
+			return v, nil, err
+		}
+		v.Str = string(s)
+		return v, rest, nil
+	case "slice":
+		count, n := binary.Uvarint(data)
+		if n <= 0 {
+			return v, nil, errTruncated
+		}
+		data = data[n:]
+		if count > uint64(len(data)) {
+			return v, nil, errTruncated
+		}
+		var err error
+		for i := uint64(0); i < count; i++ {
+			var e Value
+			if e, data, err = decodeGeneric(data, node.elem); err != nil {
+				return v, nil, err
+			}
+			v.Elems = append(v.Elems, e)
+		}
+		return v, data, nil
+	case "array":
+		// Bounded work: the parser rejects empty structs and zero-length
+		// arrays, so every element consumes at least one byte and the loop
+		// cannot outrun the input.
+		var err error
+		for i := 0; i < node.arrLen; i++ {
+			var e Value
+			if e, data, err = decodeGeneric(data, node.elem); err != nil {
+				return v, nil, err
+			}
+			v.Elems = append(v.Elems, e)
+		}
+		return v, data, nil
+	case "struct":
+		var err error
+		for _, f := range node.fields {
+			var e Value
+			if e, data, err = decodeGeneric(data, f.node); err != nil {
+				return v, nil, err
+			}
+			v.Elems = append(v.Elems, e)
+		}
+		return v, data, nil
+	}
+	return v, nil, fmt.Errorf("resultstore: unknown schema kind %q", node.kind)
+}
+
+func checkIntRange(kind string, x int64) error {
+	var lo, hi int64
+	switch kind {
+	case "i8":
+		lo, hi = math.MinInt8, math.MaxInt8
+	case "i16":
+		lo, hi = math.MinInt16, math.MaxInt16
+	case "i32":
+		lo, hi = math.MinInt32, math.MaxInt32
+	default:
+		return nil
+	}
+	if x < lo || x > hi {
+		return fmt.Errorf("resultstore: %d out of range for %s", x, kind)
+	}
+	return nil
+}
+
+func checkUintRange(kind string, x uint64) error {
+	var hi uint64
+	switch kind {
+	case "u8":
+		hi = math.MaxUint8
+	case "u16":
+		hi = math.MaxUint16
+	case "u32":
+		hi = math.MaxUint32
+	default:
+		return nil
+	}
+	if x > hi {
+		return fmt.Errorf("resultstore: %d out of range for %s", x, kind)
+	}
+	return nil
+}
+
+// AppendBinary re-encodes the archive (header, schema, records) onto dst.
+// A successfully decoded archive always re-encodes, and decoding the result
+// yields an equal Archive — the fixed-point property FuzzStoreDecode pins.
+func (a *Archive) AppendBinary(dst []byte) ([]byte, error) {
+	node, err := parseSchema(a.Schema)
+	if err != nil {
+		return nil, err
+	}
+	dst = append(dst, cellsMagic...)
+	dst = binary.AppendUvarint(dst, uint64(len(a.Schema)))
+	dst = append(dst, a.Schema...)
+	var payload []byte
+	for i := range a.Records {
+		rec := &a.Records[i]
+		payload = payload[:0]
+		payload = append(payload, rec.Key[:]...)
+		payload = binary.AppendUvarint(payload, uint64(len(rec.Name)))
+		payload = append(payload, rec.Name...)
+		payload = binary.AppendUvarint(payload, rec.ElapsedNS)
+		payload, err = appendGeneric(payload, &rec.Value, node)
+		if err != nil {
+			return nil, err
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(payload)))
+		dst = append(dst, payload...)
+	}
+	return dst, nil
+}
+
+func appendGeneric(dst []byte, v *Value, node *schemaNode) ([]byte, error) {
+	switch node.kind {
+	case "bool":
+		return append(dst, byte(v.Bits&1)), nil
+	case "i8", "i16", "i32", "i64":
+		return binary.AppendVarint(dst, int64(v.Bits)), nil
+	case "u8", "u16", "u32", "u64":
+		return binary.AppendUvarint(dst, v.Bits), nil
+	case "f32":
+		return binary.LittleEndian.AppendUint32(dst, uint32(v.Bits)), nil
+	case "f64":
+		return binary.LittleEndian.AppendUint64(dst, v.Bits), nil
+	case "str":
+		dst = binary.AppendUvarint(dst, uint64(len(v.Str)))
+		return append(dst, v.Str...), nil
+	case "slice":
+		dst = binary.AppendUvarint(dst, uint64(len(v.Elems)))
+		var err error
+		for i := range v.Elems {
+			if dst, err = appendGeneric(dst, &v.Elems[i], node.elem); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	case "array":
+		if len(v.Elems) != node.arrLen {
+			return nil, fmt.Errorf("resultstore: array value has %d elements, schema says %d", len(v.Elems), node.arrLen)
+		}
+		var err error
+		for i := range v.Elems {
+			if dst, err = appendGeneric(dst, &v.Elems[i], node.elem); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	case "struct":
+		if len(v.Elems) != len(node.fields) {
+			return nil, fmt.Errorf("resultstore: struct value has %d fields, schema says %d", len(v.Elems), len(node.fields))
+		}
+		var err error
+		for i := range v.Elems {
+			if dst, err = appendGeneric(dst, &v.Elems[i], node.fields[i].node); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	}
+	return nil, fmt.Errorf("resultstore: unknown schema kind %q", node.kind)
+}

@@ -61,6 +61,7 @@ import (
 	"islands/internal/fault"
 	"islands/internal/harness"
 	"islands/internal/ipc"
+	"islands/internal/resultstore"
 	"islands/internal/sim"
 	"islands/internal/storage"
 	"islands/internal/topology"
@@ -545,6 +546,27 @@ type TraceAdvice = harness.TraceAdvice
 func TraceAdvise(t *Trace, geos []Geometry, sizes []int, seeds int, opt StudyOptions) (*TraceAdvice, error) {
 	return harness.AdviseTrace(t, geos, sizes, seeds, opt)
 }
+
+// ResultStore is a persistent content-addressed archive of study cell
+// results plus learned per-cell cost hints. Set it as StudyOptions.Store
+// and every cell a run executes is memoized: a later run of the same cell
+// — same machine, config, workload, seed and mode, under the same build —
+// is served from the archive without simulating, with bit-identical
+// tables. Keys are salted with a fingerprint of the build's simulated
+// behavior, so a store can never serve results the current code would not
+// produce; the archive file also carries the payload schema in its name,
+// so incompatible layouts never collide. Safe for concurrent use within a
+// process; sequential and parallel runs at any Shards setting share one
+// store.
+type ResultStore = resultstore.Store
+
+// CellKeyHasher accumulates a cell's semantic identity for the result
+// store — the hasher passed to SourceCellSpec.Key implementations.
+type CellKeyHasher = resultstore.Hasher
+
+// OpenResultStore opens (creating if needed) a result store for study cell
+// results under dir.
+func OpenResultStore(dir string) (*ResultStore, error) { return harness.OpenStore(dir) }
 
 // WalOptions configures logging (group commit, flush latency, Aether-style
 // consolidation).
